@@ -1,0 +1,386 @@
+package hyperx
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// recorded results). Each benchmark runs the experiment at the reduced
+// 4x4x4 t=4 default scale — the cmd/ tools regenerate the same data at
+// the paper's 8x8x8 t=8 scale — and reports domain metrics via
+// b.ReportMetric:
+//
+//	accepted    accepted throughput, flits/cycle/terminal (1.0 = capacity)
+//	mean_ns     mean packet latency
+//	exec_ns     application execution time (stencil benches)
+//
+// Run with: go test -bench=. -benchmem
+// The ns/op column measures simulator wall-clock cost, not network
+// latency; the reported metrics carry the paper's results.
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperx/internal/cost"
+)
+
+// benchOpts keeps benchmark runtime bounded on one core.
+var benchOpts = RunOpts{Warmup: 6000, Window: 6000}
+
+var benchAlgs = []string{"DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR"}
+
+// loadLatencyBench probes one pattern at one offered load for every
+// algorithm — one point of the corresponding Figure 6 panel.
+func loadLatencyBench(b *testing.B, pattern string, load float64) {
+	for _, alg := range benchAlgs {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = alg
+				pt, err := RunLoadPoint(cfg, pattern, load, benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.Accepted, "accepted")
+				b.ReportMetric(pt.Mean, "mean_ns")
+				if pt.Saturated {
+					b.ReportMetric(1, "saturated")
+				} else {
+					b.ReportMetric(0, "saturated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6a_UR: uniform random, the benign baseline — every adaptive
+// algorithm should accept the probe load minimally.
+func BenchmarkFig6a_UR(b *testing.B) { loadLatencyBench(b, "UR", 0.60) }
+
+// BenchmarkFig6b_BC: bit complement; adaptive algorithms must go
+// non-minimal past the 1/W bisection ceiling.
+func BenchmarkFig6b_BC(b *testing.B) { loadLatencyBench(b, "BC", 0.40) }
+
+// BenchmarkFig6c_URBx: first dimension unbalanced — the congestion is at
+// the source router, so even source-adaptive routing handles it.
+func BenchmarkFig6c_URBx(b *testing.B) { loadLatencyBench(b, "URBx", 0.40) }
+
+// BenchmarkFig6d_URBy: second dimension unbalanced — the paper's headline
+// case where source-adaptive routing saturates at 1/W while the
+// incremental WARs sustain the load.
+func BenchmarkFig6d_URBy(b *testing.B) { loadLatencyBench(b, "URBy", 0.40) }
+
+// BenchmarkFig6e_S2: swap-2 leaves most bandwidth unused; topology-aware
+// incremental algorithms should approach full throughput.
+func BenchmarkFig6e_S2(b *testing.B) { loadLatencyBench(b, "S2", 0.60) }
+
+// BenchmarkFig6f_DCR: the worst-case admissible 3-D pattern; OmniWAR's
+// any-dimension-order freedom separates it from DimWAR.
+func BenchmarkFig6f_DCR(b *testing.B) { loadLatencyBench(b, "DCR", 0.30) }
+
+// BenchmarkFig6g_Throughput: saturated accepted throughput for every
+// pattern x algorithm — the Figure 6g comparison bars.
+func BenchmarkFig6g_Throughput(b *testing.B) {
+	for _, pattern := range []string{"UR", "BC", "URBx", "URBy", "URBz", "S2", "DCR"} {
+		for _, alg := range benchAlgs {
+			pattern, alg := pattern, alg
+			b.Run(pattern+"/"+alg, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultScale()
+					cfg.Algorithm = alg
+					th, err := RunThroughput(cfg, pattern, benchOpts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(th, "accepted")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8a_Collective: dissemination collective only.
+func BenchmarkFig8a_Collective(b *testing.B) { stencilModeBench(b, 0, 1) }
+
+// BenchmarkFig8b_Halo: halo exchange only.
+func BenchmarkFig8b_Halo(b *testing.B) { stencilModeBench(b, 1, 1) }
+
+// BenchmarkFig8c_FullApp: one full iteration (exchange + collective).
+func BenchmarkFig8c_FullApp(b *testing.B) { stencilModeBench(b, 2, 1) }
+
+// BenchmarkFig8c_FullApp16: sixteen blended iterations (the paper's
+// communication-overlap variant).
+func BenchmarkFig8c_FullApp16(b *testing.B) { stencilModeBench(b, 2, 16) }
+
+// stencilModeBench runs one Figure 8 panel (mode 0=collective, 1=halo,
+// 2=full) across the algorithms.
+func stencilModeBench(b *testing.B, mode, iters int) {
+	for _, alg := range benchAlgs {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = alg
+				o := StencilOpts{
+					Grid:       [3]int{4, 4, 4},
+					Iterations: iters,
+					Bytes:      25_000,
+					Random:     true,
+				}
+				switch mode {
+				case 0:
+					o.Mode = CollectiveOnly
+				case 1:
+					o.Mode = HaloOnly
+				default:
+					o.Mode = FullApp
+				}
+				res, err := RunStencil(cfg, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.ExecTime), "exec_ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig4TopoComparison: the full stencil application on HyperX,
+// Dragonfly, and fat tree (Figure 4; lower exec_ns is better).
+func BenchmarkFig4TopoComparison(b *testing.B) {
+	opts := StencilOpts{Grid: [3]int{4, 4, 4}, Mode: FullApp, Iterations: 1, Bytes: 25_000, Random: true}
+	b.Run("hyperx/OmniWAR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := DefaultScale()
+			cfg.Algorithm = "OmniWAR"
+			res, err := RunStencil(cfg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecTime), "exec_ns")
+		}
+	})
+	b.Run("dragonfly/UGAL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, err := BuildDragonfly(DragonflyConfig{P: 4, A: 8, H: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := RunStencilOn(net, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecTime), "exec_ns")
+		}
+	})
+	b.Run("fattree/ClosAdaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, err := BuildFatTree(FatTreeConfig{K: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := RunStencilOn(net, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecTime), "exec_ns")
+		}
+	})
+}
+
+// BenchmarkFig2Scalability: the analytic scalability sweep (Figure 2).
+// The reported metric is the 64-port 3-D HyperX size, which must stay
+// pinned to the paper's 78,608.
+func BenchmarkFig2Scalability(b *testing.B) {
+	var last int
+	for i := 0; i < b.N; i++ {
+		var radixes []int
+		for k := 8; k <= 256; k += 8 {
+			radixes = append(radixes, k)
+		}
+		pts := cost.ScalabilityCurve(radixes)
+		last = pts[7].HyperX3 // radix 64
+	}
+	b.ReportMetric(float64(last), "nodes_hx3_r64")
+}
+
+// BenchmarkFig3CableCost: the cabling-cost comparison (Figure 3). Metrics
+// are the Dragonfly/HyperX per-node cost ratios at the largest size under
+// 25 GHz copper and passive optics.
+func BenchmarkFig3CableCost(b *testing.B) {
+	var copper, optical float64
+	for i := 0; i < b.N; i++ {
+		pts := cost.CompareCableCost(cost.DefaultGeometry(), []int{6, 8, 10, 12})
+		last := pts[len(pts)-1]
+		for j, name := range last.Tech {
+			switch name {
+			case "DAC+AOC@25GHz":
+				copper = last.CostRatio[j]
+			case "PassiveOptical":
+				optical = last.CostRatio[j]
+			}
+		}
+	}
+	b.ReportMetric(copper, "ratio_copper")
+	b.ReportMetric(optical, "ratio_optical")
+}
+
+// BenchmarkTable1 regenerates the implementation-comparison table; the
+// metric is its row count.
+func BenchmarkTable1(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = TableOne()
+	}
+	b.ReportMetric(float64(len(s)), "bytes")
+}
+
+// BenchmarkDALAtomicCeiling: the Section 4.2 atomic-queue-allocation
+// throughput ceiling for single-flit and random-size packets.
+func BenchmarkDALAtomicCeiling(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		min, max int
+	}{{"single-flit", 1, 1}, {"random-1-16", 1, 16}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "DAL"
+				th, err := RunThroughput(cfg, "UR", RunOpts{
+					Warmup: 5000, Window: 5000, MinFlits: tc.min, MaxFlits: tc.max,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(th, "accepted")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSensing: routing-weight congestion sensing — realistic
+// per-port output-queue aggregates versus idealized per-class occupancy —
+// on the URBy case. Per-class sensing lets UGAL escape the remote
+// congestion it cannot escape on real hardware (DESIGN.md §5).
+func BenchmarkAblationSensing(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		class bool
+	}{{"port-sensing", false}, {"class-sensing", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "UGAL"
+				cfg.ClassSense = tc.class
+				th, err := RunThroughput(cfg, "URBy", benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(th, "accepted")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOmniVCs: OmniWAR's deroute budget (M = classes - N)
+// versus DCR throughput — the tunability knob of Section 5.2.
+func BenchmarkAblationOmniVCs(b *testing.B) {
+	for classes := 3; classes <= 8; classes++ {
+		classes := classes
+		b.Run(fmt.Sprintf("classes-%d", classes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "OmniWAR"
+				cfg.OmniClasses = classes
+				th, err := RunThroughput(cfg, "DCR", benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(th, "accepted")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationB2BDeroute: the Section 5.2 optimization restricting
+// back-to-back deroutes in the same dimension.
+func BenchmarkAblationB2BDeroute(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		noB  bool
+	}{{"unrestricted", false}, {"no-back-to-back", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "OmniWAR"
+				cfg.OmniNoB2B = tc.noB
+				th, err := RunThroughput(cfg, "DCR", benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(th, "accepted")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCollective: dissemination (the paper's collective)
+// versus recursive doubling on the collective-only stencil phase.
+func BenchmarkAblationCollective(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rd   bool
+	}{{"dissemination", false}, {"recursive-doubling", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "DimWAR"
+				res, err := RunStencil(cfg, StencilOpts{
+					Grid: [3]int{4, 4, 4}, Mode: CollectiveOnly, Iterations: 4,
+					Random: true, RecursiveDoubling: tc.rd,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.ExecTime), "exec_ns")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationArbiter: output arbitration policy (age vs fifo vs
+// random) under adversarial BC traffic — age-based arbitration is what
+// the paper's router uses for stability.
+func BenchmarkAblationArbiter(b *testing.B) {
+	for _, arb := range []string{"age", "fifo", "random"} {
+		arb := arb
+		b.Run(arb, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultScale()
+				cfg.Algorithm = "DimWAR"
+				cfg.Arbiter = arb
+				th, err := RunThroughput(cfg, "BC", benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(th, "accepted")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorSpeed measures the raw event-processing rate of the
+// simulator substrate itself (packets delivered per wall-second) — useful
+// when sizing paper-scale runs.
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultScale()
+		cfg.Algorithm = "DimWAR"
+		if _, err := RunLoadPoint(cfg, "UR", 0.5, RunOpts{Warmup: 2000, Window: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command hxcost regenerates the paper's analytic figures: the topology
+// scalability curves of Figure 2 and the Dragonfly-vs-HyperX cabling cost
+// comparison of Figure 3.
+//
+// Examples:
+//
+//	hxcost -fig 2
+//	hxcost -fig 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperx/internal/cost"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to regenerate: 2 (scalability) or 3 (cabling cost)")
+	flag.Parse()
+
+	switch *fig {
+	case 2:
+		fmt.Println("radix,hyperx2,hyperx3,hyperx4,dragonfly,fattree,slimfly,hypercube")
+		var radixes []int
+		for k := 8; k <= 256; k += 8 {
+			radixes = append(radixes, k)
+		}
+		for _, p := range cost.ScalabilityCurve(radixes) {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d\n",
+				p.Radix, p.HyperX2, p.HyperX3, p.HyperX4, p.Dragonfly, p.FatTree, p.SlimFly, p.HyperCube)
+		}
+	case 3:
+		pts := cost.CompareCableCost(cost.DefaultGeometry(), []int{4, 6, 8, 10, 12, 14, 16})
+		if len(pts) == 0 {
+			fmt.Fprintln(os.Stderr, "no comparison points")
+			os.Exit(1)
+		}
+		fmt.Print("nodes_hyperx,nodes_dragonfly")
+		for _, name := range pts[0].Tech {
+			fmt.Printf(",ratio_%s", name)
+		}
+		fmt.Println()
+		for _, p := range pts {
+			fmt.Printf("%d,%d", p.HyperXNodes, p.DragonflyNodes)
+			for _, r := range p.CostRatio {
+				fmt.Printf(",%.4f", r)
+			}
+			fmt.Println()
+		}
+		fmt.Fprintln(os.Stderr, "ratio = dragonfly cost per node / hyperx cost per node; >1 means HyperX cheaper")
+	default:
+		fmt.Fprintln(os.Stderr, "unknown figure; use -fig 2 or -fig 3")
+		os.Exit(1)
+	}
+}

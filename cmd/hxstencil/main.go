@@ -1,0 +1,131 @@
+// Command hxstencil regenerates the stencil-application experiments: the
+// Figure 8 phase breakdown (collective-only, halo-only, full app) across
+// HyperX routing algorithms, and the Figure 4 topology comparison
+// (fat tree vs Dragonfly vs HyperX).
+//
+// Examples:
+//
+//	hxstencil                       # Figure 8 at test scale
+//	hxstencil -iters 16 -paper      # Figure 8c's blended-iteration variant, full scale
+//	hxstencil -fig4                 # Figure 4 topology comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyperx"
+	"hyperx/internal/app"
+)
+
+func main() {
+	var (
+		algs  = flag.String("algs", "DOR,VAL,UGAL,UGAL+,DimWAR,OmniWAR", "algorithms, comma separated")
+		bytes = flag.Int("bytes", 100_000, "aggregate halo bytes per process per exchange")
+		iters = flag.Int("iters", 1, "application iterations")
+		fig4  = flag.Bool("fig4", false, "run the Figure 4 topology comparison instead of Figure 8")
+		paper = flag.Bool("paper", false, "use the paper's 8x8x8 t=8 scale (16x16x16 process grid)")
+		rd    = flag.Bool("recursive-doubling", false, "use recursive doubling instead of the dissemination collective")
+		seed  = flag.Uint64("seed", 1, "random seed (placement and tie-breaks)")
+	)
+	flag.Parse()
+
+	cfg := hyperx.DefaultScale()
+	grid := [3]int{4, 4, 4}
+	if *paper {
+		cfg = hyperx.PaperScale()
+		grid = [3]int{16, 16, 16}
+	}
+	cfg.Seed = *seed
+
+	if *fig4 {
+		runFig4(grid, *bytes, *iters, *seed)
+		return
+	}
+
+	modes := []struct {
+		name string
+		mode app.Mode
+	}{
+		{"collective", hyperx.CollectiveOnly},
+		{"halo", hyperx.HaloOnly},
+		{"full", hyperx.FullApp},
+	}
+	fmt.Println("phase,algorithm,exec_time_ns,iterations")
+	for _, m := range modes {
+		for _, alg := range split(*algs) {
+			cfg.Algorithm = alg
+			res, err := hyperx.RunStencil(cfg, hyperx.StencilOpts{
+				Grid: grid, Mode: m.mode, Iterations: *iters, Bytes: *bytes,
+				Random: true, RecursiveDoubling: *rd, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s,%s,%d,%d\n", m.name, alg, res.ExecTime, res.Iterations)
+			fmt.Fprintf(os.Stderr, "done %s/%s\n", m.name, alg)
+		}
+	}
+}
+
+// runFig4 compares the full application across topologies of comparable
+// size, each with its best practical adaptive routing.
+func runFig4(grid [3]int, bytes, iters int, seed uint64) {
+	opts := hyperx.StencilOpts{Grid: grid, Mode: hyperx.FullApp, Iterations: iters, Bytes: bytes, Random: true, Seed: seed}
+	procs := grid[0] * grid[1] * grid[2]
+
+	fmt.Println("topology,routing,terminals,exec_time_ns")
+
+	hx := hyperx.DefaultScale()
+	if procs > 256 {
+		hx = hyperx.PaperScale()
+	}
+	hx.Algorithm = "OmniWAR"
+	hx.Seed = seed
+	inst, err := hyperx.Build(hx)
+	fail(err)
+	res, err := hyperx.RunStencilOn(inst.Net, opts)
+	fail(err)
+	fmt.Printf("hyperx,OmniWAR,%d,%d\n", inst.Topo.NumTerminals(), res.ExecTime)
+
+	// Dragonfly sized to cover the process count.
+	dfp := hyperx.DragonflyConfig{P: 4, A: 8, H: 2, Algorithm: "UGAL", Seed: seed} // 544 terminals
+	if procs > 544 {
+		dfp = hyperx.DragonflyConfig{P: 8, A: 16, H: 4, Algorithm: "UGAL", Seed: seed} // 8320
+	}
+	df, err := hyperx.BuildDragonfly(dfp)
+	fail(err)
+	res, err = hyperx.RunStencilOn(df, opts)
+	fail(err)
+	fmt.Printf("dragonfly,UGAL,%d,%d\n", df.Cfg.Topo.NumTerminals(), res.ExecTime)
+
+	k := 10 // 250 terminals
+	if procs > 250 {
+		k = 26 // 4394
+	}
+	ft, err := hyperx.BuildFatTree(hyperx.FatTreeConfig{K: k, Seed: seed})
+	fail(err)
+	res, err = hyperx.RunStencilOn(ft, opts)
+	fail(err)
+	fmt.Printf("fattree,Clos-Adaptive,%d,%d\n", ft.Cfg.Topo.NumTerminals(), res.ExecTime)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Command hxsweep regenerates the Figure 6 data: load-latency curves
+// (6a-6f) for one traffic pattern across routing algorithms, or the
+// saturated-throughput comparison bars (6g) across all patterns.
+//
+// Examples:
+//
+//	hxsweep -pattern URBy -step 0.05                  # one Figure 6 panel, CSV
+//	hxsweep -throughput                               # Figure 6g, CSV
+//	hxsweep -pattern DCR -algs DimWAR,OmniWAR -paper  # full 8x8x8 scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyperx"
+)
+
+func main() {
+	var (
+		pattern    = flag.String("pattern", "UR", fmt.Sprintf("traffic pattern %v", hyperx.Patterns))
+		algs       = flag.String("algs", "DOR,VAL,UGAL,UGAL+,DimWAR,OmniWAR", "algorithms, comma separated")
+		step       = flag.Float64("step", 0.05, "load sweep granularity (the paper uses 0.02)")
+		warmup     = flag.Int("warmup", 20000, "warmup cycles")
+		window     = flag.Int("window", 15000, "measurement window cycles")
+		throughput = flag.Bool("throughput", false, "emit Figure 6g: saturated throughput for every pattern x algorithm")
+		patterns   = flag.String("patterns", "UR,BC,URBx,URBy,URBz,S2,DCR", "patterns for -throughput")
+		paper      = flag.Bool("paper", false, "use the paper's 8x8x8 t=8 scale")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := hyperx.DefaultScale()
+	if *paper {
+		cfg = hyperx.PaperScale()
+	}
+	cfg.Seed = *seed
+	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window}
+	algList := split(*algs)
+
+	if *throughput {
+		// Figure 6g: accepted throughput at 100% offered load.
+		fmt.Printf("pattern,%s\n", strings.Join(algList, ","))
+		for _, pat := range split(*patterns) {
+			row := []string{pat}
+			for _, alg := range algList {
+				cfg.Algorithm = alg
+				th, err := hyperx.RunThroughput(cfg, pat, opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				row = append(row, fmt.Sprintf("%.3f", th))
+				fmt.Fprintf(os.Stderr, "done %s/%s = %.3f\n", pat, alg, th)
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+
+	// One Figure 6 panel: load,latency CSV per algorithm; lines end at
+	// saturation like the paper's plots.
+	fmt.Println("algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated")
+	for _, alg := range algList {
+		cfg.Algorithm = alg
+		pts, err := hyperx.RunLoadSweep(cfg, *pattern, hyperx.LoadRange(*step), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, p := range pts {
+			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v\n", alg, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated)
+		}
+		fmt.Fprintf(os.Stderr, "done %s/%s: %d points\n", *pattern, alg, len(pts))
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

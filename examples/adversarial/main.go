@@ -1,0 +1,35 @@
+// Adversarial: reproduce the paper's headline result (Figure 6d) at demo
+// scale. URBy traffic is load-balanced in the X and Z dimensions but
+// complements Y, so the congestion lives one hop away from the source
+// router. Source-adaptive routing (UGAL) cannot distinguish its minimal
+// and Valiant options there and pins to the congested minimal paths,
+// saturating at the 1/W bisection ceiling, while the incremental DimWAR
+// and OmniWAR route around the hot links and sustain near 50%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperx"
+)
+
+func main() {
+	cfg := hyperx.DefaultScale() // 4x4x4, t=4; W=4 so the minimal ceiling is 25%
+	opts := hyperx.RunOpts{Warmup: 10000, Window: 10000}
+
+	fmt.Println("URBy (complement in Y, uniform in X/Z) — accepted throughput at 45% offered")
+	fmt.Printf("%-8s %10s %12s %10s\n", "alg", "accepted", "mean(ns)", "saturated")
+	for _, alg := range []string{"DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR"} {
+		cfg.Algorithm = alg
+		pt, err := hyperx.RunLoadPoint(cfg, "URBy", 0.45, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %10.3f %12.1f %10v\n", alg, pt.Accepted, pt.Mean, pt.Saturated)
+	}
+
+	fmt.Println("\nThe incremental algorithms (DimWAR, OmniWAR) keep accepting the full")
+	fmt.Println("offered load; DOR and UGAL collapse to ~1/W of capacity (the paper's")
+	fmt.Println("Figure 6d shows the same effect at 8x8x8, where 1/W = 12.5%).")
+}

@@ -1,0 +1,43 @@
+// Costmodel: the paper's motivation in two tables. First the Figure 2
+// scalability comparison (how many nodes each low-diameter topology
+// builds from a given router radix), then the Figure 3 cabling-cost
+// comparison showing why co-packaged photonics flips the economics from
+// Dragonfly to HyperX.
+package main
+
+import (
+	"fmt"
+
+	"hyperx/internal/cost"
+)
+
+func main() {
+	fmt.Println("Figure 2 — maximum network size by router radix")
+	fmt.Printf("%6s %12s %12s %12s %12s %12s\n", "radix", "HyperX-2", "HyperX-3", "HyperX-4", "Dragonfly", "FatTree-3")
+	for _, p := range cost.ScalabilityCurve([]int{16, 32, 48, 64, 96, 128}) {
+		fmt.Printf("%6d %12d %12d %12d %12d %12d\n",
+			p.Radix, p.HyperX2, p.HyperX3, p.HyperX4, p.Dragonfly, p.FatTree)
+	}
+	c := cost.MaxHyperX(64, 3)
+	fmt.Printf("\n(64-port 3-D HyperX: widths %v, %d terminals/router -> %d nodes,\n", c.Widths, c.Terms, c.Nodes)
+	fmt.Println(" matching the paper's Section 3.1 figure of 78,608.)")
+
+	fmt.Println("\nFigure 3 — cabling cost, Dragonfly relative to HyperX (per node)")
+	fmt.Println("ratio > 1 means the HyperX is cheaper")
+	pts := cost.CompareCableCost(cost.DefaultGeometry(), []int{6, 8, 10, 12})
+	fmt.Printf("%10s", "nodes")
+	for _, name := range pts[0].Tech {
+		fmt.Printf(" %18s", name)
+	}
+	fmt.Println()
+	for _, p := range pts {
+		fmt.Printf("%10d", p.HyperXNodes)
+		for _, r := range p.CostRatio {
+			fmt.Printf(" %18.3f", r)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nWith copper-era DAC+AOC pricing the Dragonfly is cheaper at scale;")
+	fmt.Println("with passive optical cables the HyperX is always equal or cheaper —")
+	fmt.Println("the condition under which the paper develops its routing algorithms.")
+}

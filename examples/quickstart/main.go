@@ -1,0 +1,44 @@
+// Quickstart: build a small HyperX, route uniform-random traffic with the
+// paper's DimWAR algorithm, and print the steady-state latency and
+// throughput of a single load point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperx"
+)
+
+func main() {
+	// A 4x4x4 HyperX with 4 terminals per router: 64 routers, 256 nodes.
+	// (Use hyperx.PaperScale() for the paper's 4,096-node configuration.)
+	cfg := hyperx.Config{
+		Widths:    []int{4, 4, 4},
+		Terms:     4,
+		Algorithm: "DimWAR", // one of hyperx.Algorithms
+	}
+
+	// Measure one point: uniform-random traffic at 50% of injection
+	// capacity, using the paper's methodology (warm up, then sample every
+	// packet born in the measurement window while injection continues).
+	pt, err := hyperx.RunLoadPoint(cfg, "UR", 0.5, hyperx.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("HyperX 4x4x4, t=4, DimWAR, uniform random @ 50% load")
+	fmt.Printf("  mean latency: %.0f ns   p99: %.0f ns\n", pt.Mean, pt.P99)
+	fmt.Printf("  accepted:     %.3f flits/cycle/terminal\n", pt.Accepted)
+	fmt.Printf("  saturated:    %v\n", pt.Saturated)
+
+	// The same API sweeps a whole load-latency curve (Figure 6 style):
+	pts, err := hyperx.RunLoadSweep(cfg, "UR", hyperx.LoadRange(0.2), hyperx.RunOpts{
+		Warmup: 8000, Window: 8000, // shorter windows for a quick demo
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nload-latency curve (UR):")
+	fmt.Print(hyperx.FormatLoadPoints(pts))
+}

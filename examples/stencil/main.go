@@ -1,0 +1,46 @@
+// Stencil: run the paper's 27-point stencil application model (Section
+// 6.2) — iterations of a halo exchange with 26 neighbors followed by a
+// dissemination-algorithm collective — and compare routing algorithms by
+// application execution time (Figure 8 style; lower is better).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperx"
+	"hyperx/internal/app"
+)
+
+func main() {
+	cfg := hyperx.DefaultScale()
+	grid := [3]int{4, 4, 4} // 64 processes on 256 terminals, randomly placed
+
+	phases := []struct {
+		name string
+		mode app.Mode
+	}{
+		{"collective only (Fig 8a)", hyperx.CollectiveOnly},
+		{"halo exchange only (Fig 8b)", hyperx.HaloOnly},
+		{"full application (Fig 8c)", hyperx.FullApp},
+	}
+	algs := []string{"DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR"}
+
+	for _, ph := range phases {
+		fmt.Printf("\n%s — 100 kB halo per process, random placement\n", ph.name)
+		for _, alg := range algs {
+			cfg.Algorithm = alg
+			res, err := hyperx.RunStencil(cfg, hyperx.StencilOpts{
+				Grid:       grid,
+				Mode:       ph.mode,
+				Iterations: 1,
+				Bytes:      100_000,
+				Random:     true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s %9d ns  (%d packets)\n", alg, res.ExecTime, res.Packets)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package hyperx is the public API of this reproduction of "Practical and
+// Efficient Incremental Adaptive Routing for HyperX Networks" (McDonald et
+// al., SC '19). It wires the internal substrates — event kernel, HyperX /
+// Dragonfly / fat-tree topologies, the CIOQ router model with virtual-
+// channel flow control, the routing algorithms (including the paper's
+// DimWAR and OmniWAR), traffic generators, and the stencil application
+// model — behind a small configuration surface that the cmd/ tools,
+// examples, and benchmarks share.
+package hyperx
+
+import (
+	"fmt"
+
+	"hyperx/internal/core"
+	"hyperx/internal/network"
+	"hyperx/internal/route"
+	"hyperx/internal/routing"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+	"hyperx/internal/traffic"
+)
+
+// Algorithms lists the HyperX routing algorithm names accepted by Config,
+// in the paper's Table 2 order plus the extras this repo adds.
+var Algorithms = []string{"DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR", "MinAD", "DAL"}
+
+// Patterns lists the synthetic traffic pattern names accepted by the run
+// helpers, in the paper's Table 3 order plus the extras this repo adds.
+var Patterns = []string{"UR", "BC", "URBx", "URBy", "URBz", "S2", "DCR", "TP", "TOR", "HS"}
+
+// Config describes a HyperX simulation instance. Zero values take the
+// paper's evaluation defaults scaled to the configured widths.
+type Config struct {
+	Widths []int // routers per dimension (default 4,4,4)
+	Terms  int   // terminals per router (default 4)
+
+	Algorithm string // one of Algorithms (default "DimWAR")
+
+	NumVCs        int // default 8
+	BufDepth      int // flits per (port,VC), default 256
+	MaxPktFlits   int // default 16
+	XbarLat       int // ns, default 50
+	RouterChanLat int // ns, default 50
+	TermChanLat   int // ns, default 5
+
+	// OmniClasses sets OmniWAR's N+M distance classes (default NumVCs).
+	OmniClasses int
+	// OmniNoB2B enables the Section 5.2 optimization restricting
+	// back-to-back deroutes in the same dimension.
+	OmniNoB2B bool
+
+	// AtomicVCAlloc forces atomic queue allocation (Section 4.2). It is
+	// implied by Algorithm "DAL".
+	AtomicVCAlloc bool
+
+	// ClassSense switches congestion sensing for routing weights from the
+	// realistic per-port output-queue aggregate to idealized per-class
+	// occupancy (ablation; see route.Ctx.ClassSense).
+	ClassSense bool
+
+	// Arbiter selects the output-arbitration policy: "age" (default, the
+	// paper's configuration), "fifo", or "random" (ablation).
+	Arbiter string
+
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Widths) == 0 {
+		c.Widths = []int{4, 4, 4}
+	}
+	if c.Terms == 0 {
+		c.Terms = 4
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "DimWAR"
+	}
+	if c.NumVCs == 0 {
+		c.NumVCs = 8
+	}
+	if c.OmniClasses == 0 {
+		c.OmniClasses = c.NumVCs
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// PaperScale returns the full evaluation configuration of Section 6: a
+// 4,096-node 8x8x8 HyperX with 8 terminals per router and 8 VCs.
+func PaperScale() Config {
+	return Config{Widths: []int{8, 8, 8}, Terms: 8}
+}
+
+// DefaultScale returns the reduced 256-node 4x4x4 configuration used by
+// the test suite and benchmarks (see DESIGN.md for the shape-fidelity
+// argument).
+func DefaultScale() Config {
+	return Config{Widths: []int{4, 4, 4}, Terms: 4}
+}
+
+// Instance is a built simulation: kernel, network, topology, algorithm.
+type Instance struct {
+	Cfg  Config
+	K    *sim.Kernel
+	Topo *topology.HyperX
+	Alg  route.Algorithm
+	Net  *network.Network
+}
+
+// NewAlgorithm constructs a HyperX routing algorithm by name.
+func NewAlgorithm(name string, h *topology.HyperX, cfg Config) (route.Algorithm, error) {
+	switch name {
+	case "DOR":
+		return routing.NewDOR(h), nil
+	case "VAL":
+		return routing.NewVAL(h), nil
+	case "UGAL":
+		return routing.NewUGAL(h), nil
+	case "UGAL+", "Clos-AD", "ClosAD":
+		return routing.NewClosAD(h), nil
+	case "DimWAR":
+		return core.NewDimWAR(h), nil
+	case "OmniWAR":
+		return core.NewOmniWAR(h, cfg.OmniClasses, cfg.OmniNoB2B)
+	case "MinAD":
+		return routing.NewMinAD(h), nil
+	case "DAL":
+		return routing.NewDAL(h), nil
+	default:
+		return nil, fmt.Errorf("hyperx: unknown algorithm %q (have %v)", name, Algorithms)
+	}
+}
+
+// NewPattern constructs a synthetic traffic pattern by name for the given
+// HyperX.
+func NewPattern(name string, h *topology.HyperX) (traffic.Pattern, error) {
+	n := h.NumTerminals()
+	switch name {
+	case "UR":
+		return traffic.UniformRandom{N: n}, nil
+	case "BC":
+		return traffic.BitComplement{N: n}, nil
+	case "URBx":
+		return traffic.URB{Topo: h, Dim: 0}, nil
+	case "URBy":
+		return traffic.URB{Topo: h, Dim: 1}, nil
+	case "URBz":
+		return traffic.URB{Topo: h, Dim: 2}, nil
+	case "S2":
+		return traffic.Swap2{Topo: h}, nil
+	case "DCR":
+		return traffic.DCR{Topo: h}, nil
+	case "TP":
+		return traffic.Transpose{Topo: h}, nil
+	case "TOR":
+		return traffic.Tornado{Topo: h}, nil
+	case "HS":
+		// 20% of traffic converges on terminal 0 — the Section 3.2
+		// localized-congestion scenario.
+		return traffic.Hotspot{N: n, Hot: 0, Fraction: 0.2}, nil
+	default:
+		return nil, fmt.Errorf("hyperx: unknown pattern %q (have %v)", name, Patterns)
+	}
+}
+
+// Build constructs a ready-to-run simulation instance from a Config.
+func Build(cfg Config) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	h, err := topology.NewHyperX(cfg.Widths, cfg.Terms)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := NewAlgorithm(cfg.Algorithm, h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	atomic := cfg.AtomicVCAlloc || cfg.Algorithm == "DAL"
+	var arb network.Arbiter
+	switch cfg.Arbiter {
+	case "", "age":
+		arb = network.AgeArbiter
+	case "fifo":
+		arb = network.FIFOArbiter
+	case "random":
+		arb = network.RandomArbiter
+	default:
+		return nil, fmt.Errorf("hyperx: unknown arbiter %q (age, fifo, random)", cfg.Arbiter)
+	}
+	k := sim.NewKernel()
+	net, err := network.New(k, network.Config{
+		Topo:          h,
+		Alg:           alg,
+		NumVCs:        cfg.NumVCs,
+		BufDepth:      cfg.BufDepth,
+		MaxPktFlits:   cfg.MaxPktFlits,
+		XbarLat:       sim.Time(cfg.XbarLat),
+		RouterChanLat: sim.Time(cfg.RouterChanLat),
+		TermChanLat:   sim.Time(cfg.TermChanLat),
+		AtomicVCAlloc: atomic,
+		ClassSense:    cfg.ClassSense,
+		Arbiter:       arb,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Cfg: cfg, K: k, Topo: h, Alg: alg, Net: net}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and examples with
+// constant configurations.
+func MustBuild(cfg Config) *Instance {
+	inst, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

@@ -1,0 +1,477 @@
+// Package app implements the paper's 27-point stencil application model
+// (Section 6.2): iterations of a halo exchange with the 26 neighbors of
+// each sub-cube (6 faces, 12 edges, 8 corners, periodic boundaries)
+// followed by a global synchronizing collective implemented with the
+// dissemination algorithm (log2 N rounds of send/receive with ID +/- 2^k).
+// Compute time is zero, as in the paper's simulations, so the measured
+// execution time is pure communication.
+package app
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyperx/internal/network"
+	"hyperx/internal/rng"
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+// Mode selects which phases of the application run.
+type Mode int
+
+const (
+	// CollectiveOnly runs just the dissemination collective (Figure 8a).
+	CollectiveOnly Mode = iota
+	// HaloOnly runs just the halo exchanges (Figure 8b).
+	HaloOnly
+	// Full alternates halo exchange and collective each iteration
+	// (Figure 8c).
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case CollectiveOnly:
+		return "collective"
+	case HaloOnly:
+		return "halo"
+	default:
+		return "full"
+	}
+}
+
+// Collective selects the synchronizing-collective algorithm.
+type Collective int
+
+const (
+	// Dissemination is the paper's topology-agnostic algorithm
+	// (Hensgen/Finkel/Manber): round k sends to ID+2^k and ID-2^k. Works
+	// for any process count.
+	Dissemination Collective = iota
+	// RecursiveDoubling exchanges with partner ID xor 2^k each round;
+	// requires a power-of-two process count (the classic comparison
+	// point the paper cites).
+	RecursiveDoubling
+)
+
+// Placement maps stencil processes to network terminals.
+type Placement int
+
+const (
+	// RandomPlacement assigns processes to terminals by a seeded random
+	// permutation — the paper's policy.
+	RandomPlacement Placement = iota
+	// LinearPlacement assigns process p to terminal p.
+	LinearPlacement
+)
+
+// Config parameterizes a stencil run.
+type Config struct {
+	// Grid is the process grid; GridX*GridY*GridZ processes must fit the
+	// network's terminal count.
+	GridX, GridY, GridZ int
+
+	Mode       Mode
+	Iterations int // default 1
+
+	BytesPerExchange int // aggregate halo bytes per process (default 100_000)
+	CollectiveBytes  int // payload of one collective message (default 64)
+	FlitBytes        int // flit width in bytes (default 32)
+	SubCubeSide      int // n for face:edge:corner = n^2:n:1 weighting (default 16)
+
+	Placement  Placement
+	Collective Collective
+	Seed       uint64
+
+	// MaxCycles aborts a run that fails to complete (deadlock guard).
+	MaxCycles sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.BytesPerExchange == 0 {
+		c.BytesPerExchange = 100_000
+	}
+	if c.CollectiveBytes == 0 {
+		c.CollectiveBytes = 64
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 32
+	}
+	if c.SubCubeSide == 0 {
+		c.SubCubeSide = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 500_000_000
+	}
+	return c
+}
+
+// Result reports a completed stencil run.
+type Result struct {
+	ExecTime   sim.Time // cycles (ns) until the last process finished
+	Processes  int
+	Iterations int
+	Packets    uint64 // total packets delivered for the app
+	Flits      uint64
+}
+
+// neighbor is a precomputed halo peer with its message size.
+type neighbor struct {
+	proc    int
+	packets []int // packet lengths in flits
+}
+
+const (
+	phaseHalo       = 0
+	phaseCollective = 1 // + round
+)
+
+// tag packs (iteration, phase, round) into a packet tag.
+func tag(iter, phase, round int) uint64 {
+	return uint64(iter)<<16 | uint64(phase)<<8 | uint64(round)
+}
+
+func untag(t uint64) (iter, phase, round int) {
+	return int(t >> 16), int(t >> 8 & 0xff), int(t & 0xff)
+}
+
+// Stencil is a live application instance bound to a network.
+type Stencil struct {
+	cfg Config
+	net *network.Network
+
+	procs     int
+	rounds    int   // dissemination rounds = ceil(log2 procs)
+	placement []int // process -> terminal
+	whoAt     []int // terminal -> process, -1 if unused
+
+	neighbors  [][]neighbor // per process
+	haloExpect []int        // packets expected per halo phase, per process
+
+	// recv[p] counts packets received, keyed by iteration and phase slot:
+	// slot 0 = halo, slot 1+k = collective round k.
+	recv [][]int32
+
+	state    []procState
+	finished int
+	doneAt   sim.Time
+}
+
+type procState struct {
+	iter  int // current iteration
+	phase int // phaseHalo or phaseCollective
+	round int
+	done  bool
+	endAt sim.Time
+}
+
+// New builds a stencil application over the given network. The network's
+// OnDeliver hook is claimed by the application.
+func New(net *network.Network, cfg Config) (*Stencil, error) {
+	cfg = cfg.withDefaults()
+	p := cfg.GridX * cfg.GridY * cfg.GridZ
+	if p < 2 {
+		return nil, fmt.Errorf("app: need at least 2 processes, grid gives %d", p)
+	}
+	if p > net.Cfg.Topo.NumTerminals() {
+		return nil, fmt.Errorf("app: %d processes exceed %d terminals", p, net.Cfg.Topo.NumTerminals())
+	}
+	if cfg.Collective == RecursiveDoubling && p&(p-1) != 0 {
+		return nil, fmt.Errorf("app: recursive doubling requires a power-of-two process count, got %d", p)
+	}
+	s := &Stencil{cfg: cfg, net: net, procs: p}
+	s.rounds = bits.Len(uint(p - 1)) // ceil(log2 p)
+
+	s.placement = make([]int, p)
+	s.whoAt = make([]int, net.Cfg.Topo.NumTerminals())
+	for i := range s.whoAt {
+		s.whoAt[i] = -1
+	}
+	switch cfg.Placement {
+	case RandomPlacement:
+		perm := make([]int, net.Cfg.Topo.NumTerminals())
+		rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15).Perm(perm)
+		for i := 0; i < p; i++ {
+			s.placement[i] = perm[i]
+		}
+	default:
+		for i := 0; i < p; i++ {
+			s.placement[i] = i
+		}
+	}
+	for proc, term := range s.placement {
+		s.whoAt[term] = proc
+	}
+
+	s.buildNeighbors()
+	slots := 1 + s.rounds
+	s.recv = make([][]int32, p)
+	for i := range s.recv {
+		s.recv[i] = make([]int32, slots*(cfg.Iterations+1))
+	}
+	s.state = make([]procState, p)
+	net.OnDeliver = s.onDeliver
+	return s, nil
+}
+
+// buildNeighbors precomputes the 26 halo peers of every process and the
+// per-peer message sizes: total BytesPerExchange split across faces,
+// edges, and corners in proportion n^2 : n : 1 (surface areas of a
+// sub-cube of side n).
+func (s *Stencil) buildNeighbors() {
+	c := s.cfg
+	n := c.SubCubeSide
+	unit := float64(c.BytesPerExchange) / float64(6*n*n+12*n+8)
+	faceB := int(unit * float64(n*n))
+	edgeB := int(unit * float64(n))
+	cornerB := int(unit)
+	if faceB < 1 {
+		faceB = 1
+	}
+	if edgeB < 1 {
+		edgeB = 1
+	}
+	if cornerB < 1 {
+		cornerB = 1
+	}
+
+	s.neighbors = make([][]neighbor, s.procs)
+	s.haloExpect = make([]int, s.procs)
+	idx := func(x, y, z int) int {
+		x = (x + c.GridX) % c.GridX
+		y = (y + c.GridY) % c.GridY
+		z = (z + c.GridZ) % c.GridZ
+		return (z*c.GridY+y)*c.GridX + x
+	}
+	for z := 0; z < c.GridZ; z++ {
+		for y := 0; y < c.GridY; y++ {
+			for x := 0; x < c.GridX; x++ {
+				p := idx(x, y, z)
+				seen := make(map[int]bool)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							q := idx(x+dx, y+dy, z+dz)
+							if q == p || seen[q] {
+								continue // tiny grids: wrapped duplicates collapse
+							}
+							seen[q] = true
+							bytes := cornerB
+							switch nz := abs(dx) + abs(dy) + abs(dz); nz {
+							case 1:
+								bytes = faceB
+							case 2:
+								bytes = edgeB
+							}
+							s.neighbors[p] = append(s.neighbors[p], neighbor{
+								proc:    q,
+								packets: packetize(bytes, c.FlitBytes, s.net.Cfg.MaxPktFlits),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	// Expected halo packets: sum over senders targeting each process.
+	for p := range s.neighbors {
+		for _, nb := range s.neighbors[p] {
+			s.haloExpect[nb.proc] += len(nb.packets)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// packetize splits a message of the given bytes into packet lengths in
+// flits, each at most maxFlits.
+func packetize(bytes, flitBytes, maxFlits int) []int {
+	flits := (bytes + flitBytes - 1) / flitBytes
+	if flits < 1 {
+		flits = 1
+	}
+	var out []int
+	for flits > 0 {
+		n := flits
+		if n > maxFlits {
+			n = maxFlits
+		}
+		out = append(out, n)
+		flits -= n
+	}
+	return out
+}
+
+// Run executes the configured iterations and returns the result.
+func (s *Stencil) Run() (Result, error) {
+	k := s.net.K
+	for p := 0; p < s.procs; p++ {
+		s.startIteration(p)
+	}
+	for s.finished < s.procs {
+		if !k.Step() {
+			return Result{}, fmt.Errorf("app: event queue drained with %d/%d processes finished (deadlock or lost packet)",
+				s.finished, s.procs)
+		}
+		if k.Now() > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("app: exceeded %d cycles with %d/%d processes finished",
+				s.cfg.MaxCycles, s.finished, s.procs)
+		}
+	}
+	return Result{
+		ExecTime:   s.doneAt,
+		Processes:  s.procs,
+		Iterations: s.cfg.Iterations,
+		Packets:    s.net.DeliveredPackets,
+		Flits:      s.net.DeliveredFlits,
+	}, nil
+}
+
+// slot maps (iter, phase, round) to a recv counter index.
+func (s *Stencil) slot(iter, phase, round int) int {
+	base := iter * (1 + s.rounds)
+	if phase == phaseHalo {
+		return base
+	}
+	return base + 1 + round
+}
+
+func (s *Stencil) startIteration(p int) {
+	st := &s.state[p]
+	if st.iter >= s.cfg.Iterations {
+		st.done = true
+		st.endAt = s.net.K.Now()
+		s.finished++
+		if st.endAt > s.doneAt {
+			s.doneAt = st.endAt
+		}
+		return
+	}
+	if s.cfg.Mode == CollectiveOnly {
+		st.phase = phaseCollective
+		st.round = 0
+		s.sendCollective(p, st.iter, 0)
+		s.advance(p)
+		return
+	}
+	st.phase = phaseHalo
+	s.sendHalo(p, st.iter)
+	s.advance(p)
+}
+
+func (s *Stencil) sendHalo(p, iter int) {
+	term := s.net.Terminals[s.placement[p]]
+	for _, nb := range s.neighbors[p] {
+		dst := s.placement[nb.proc]
+		for _, flits := range nb.packets {
+			pkt := s.net.NewPacket(s.placement[p], dst, flits)
+			pkt.Tag = tag(iter, phaseHalo, 0)
+			term.Send(pkt)
+		}
+	}
+}
+
+// collectivePeers returns the processes p exchanges with in a round:
+// ID+/-2^k for dissemination, ID xor 2^k for recursive doubling.
+func (s *Stencil) collectivePeers(p, round int, buf []int) []int {
+	if s.cfg.Collective == RecursiveDoubling {
+		return append(buf, p^(1<<uint(round)))
+	}
+	up := (p + (1 << uint(round))) % s.procs
+	down := (p - (1 << uint(round)) + s.procs*2) % s.procs
+	buf = append(buf, up)
+	if down != up {
+		buf = append(buf, down)
+	}
+	return buf
+}
+
+func (s *Stencil) sendCollective(p, iter, round int) {
+	term := s.net.Terminals[s.placement[p]]
+	flits := packetize(s.cfg.CollectiveBytes, s.cfg.FlitBytes, s.net.Cfg.MaxPktFlits)
+	var buf [2]int
+	for _, peer := range s.collectivePeers(p, round, buf[:0]) {
+		if peer == p {
+			continue
+		}
+		for _, f := range flits {
+			pkt := s.net.NewPacket(s.placement[p], s.placement[peer], f)
+			pkt.Tag = tag(iter, phaseCollective, round)
+			term.Send(pkt)
+		}
+	}
+}
+
+// collectiveExpect returns how many packets process p expects in a
+// collective round (its peers' messages; peers coincide only in
+// degenerate tiny configurations).
+func (s *Stencil) collectiveExpect(p, round int) int {
+	per := len(packetize(s.cfg.CollectiveBytes, s.cfg.FlitBytes, s.net.Cfg.MaxPktFlits))
+	n := 0
+	var buf [2]int
+	for _, peer := range s.collectivePeers(p, round, buf[:0]) {
+		if peer != p {
+			n += per
+		}
+	}
+	return n
+}
+
+// onDeliver dispatches packet arrivals to the application state machine.
+func (s *Stencil) onDeliver(p *route.Packet, at sim.Time) {
+	proc := s.whoAt[p.Dst]
+	if proc < 0 {
+		return
+	}
+	iter, phase, round := untag(p.Tag)
+	s.recv[proc][s.slot(iter, phase, round)]++
+	s.advance(proc)
+}
+
+// advance runs process proc's state machine as far as received data
+// allows.
+func (s *Stencil) advance(proc int) {
+	st := &s.state[proc]
+	for !st.done {
+		switch st.phase {
+		case phaseHalo:
+			if int(s.recv[proc][s.slot(st.iter, phaseHalo, 0)]) < s.haloExpect[proc] {
+				return
+			}
+			if s.cfg.Mode == HaloOnly {
+				st.iter++
+				s.startIteration(proc)
+				return
+			}
+			st.phase = phaseCollective
+			st.round = 0
+			s.sendCollective(proc, st.iter, 0)
+		case phaseCollective:
+			if int(s.recv[proc][s.slot(st.iter, phaseCollective, st.round)]) < s.collectiveExpect(proc, st.round) {
+				return
+			}
+			st.round++
+			if st.round >= s.rounds {
+				st.iter++
+				s.startIteration(proc)
+				return
+			}
+			s.sendCollective(proc, st.iter, st.round)
+		}
+	}
+}

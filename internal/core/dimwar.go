@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: the two practical
+// incremental adaptive routing algorithms for HyperX networks.
+//
+//   - DimWAR (Section 5.1): dimensionally-ordered weighted adaptive
+//     routing. Fine-grained incremental adaptivity with one deroute per
+//     dimension, needing only two resource classes regardless of the
+//     number of dimensions.
+//   - OmniWAR (Section 5.2): omni-dimensional weighted adaptive routing.
+//     Traverses unaligned dimensions in any order with up to M deroutes
+//     anywhere along the path, using N+M distance classes.
+//
+// Both are implementable on commodity high-radix routers: all routing
+// state is encoded in the VC identifier, no packet fields or special
+// architectural features are required (Table 1).
+package core
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// DimWAR is Dimensionally-ordered Weighted Adaptive Routing (Section 5.1).
+//
+// The packet resolves dimensions in ascending order. In the current
+// dimension it may take the direct (minimal) hop on resource class 0, or —
+// if it currently occupies class 0 — deroute to any other router in that
+// dimension on resource class 1, after which only the aligning minimal hop
+// is admissible. Dependencies within a dimension therefore flow only from
+// class 1 to class 0 buffers, and dimensions are visited in a fixed order,
+// so two classes suffice for deadlock freedom for any dimensionality.
+type DimWAR struct {
+	topo *topology.HyperX
+}
+
+// NewDimWAR returns a DimWAR instance for the given HyperX.
+func NewDimWAR(h *topology.HyperX) *DimWAR {
+	return &DimWAR{topo: h}
+}
+
+// Name implements route.Algorithm.
+func (a *DimWAR) Name() string { return "DimWAR" }
+
+// NumClasses implements route.Algorithm: two resource classes regardless
+// of dimensionality.
+func (a *DimWAR) NumClasses() int { return 2 }
+
+// Meta implements route.Algorithm (Table 1 row).
+func (a *DimWAR) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   true,
+		Style:        "incremental",
+		VCsRequired:  "2",
+		Deadlock:     "restricted routes + resource classes",
+		ArchRequires: "none",
+		PktContents:  "none",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *DimWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+	d := h.FirstUnalignedDim(r, dst)
+	if d < 0 {
+		return ctx.Cands[:0] // at destination router; router ejects
+	}
+	minRem := int8(h.MinHops(r, dst))
+	dstV := h.CoordDigit(dst, d)
+	own := h.CoordDigit(r, d)
+	dim := int8(d)
+
+	cands := append(ctx.Cands[:0], route.Candidate{
+		Port:     h.DimPort(r, d, dstV),
+		Class:    0,
+		HopsLeft: minRem,
+		Dim:      dim,
+	})
+	// Deroutes are valid only within the current dimension and only while
+	// the packet occupies the first resource class (step 2 of §5.1). A
+	// packet that just derouted sits on class 1 and must take the aligning
+	// minimal hop next, bounding it to one deroute per dimension.
+	if p.Class == 0 {
+		for v := 0; v < h.Widths[d]; v++ {
+			if v == own || v == dstV {
+				continue
+			}
+			cands = append(cands, route.Candidate{
+				Port:     h.DimPort(r, d, v),
+				Class:    1,
+				HopsLeft: minRem + 1,
+				Deroute:  true,
+				Dim:      dim,
+			})
+		}
+	}
+	return cands
+}

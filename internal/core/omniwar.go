@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// OmniWAR is Omni-dimensional Weighted Adaptive Routing (Section 5.2).
+//
+// At every router the packet may move in any unaligned dimension — the
+// aligning (minimal) hop or, while spare distance classes remain, any
+// lateral deroute in an unaligned dimension. Each hop advances the packet
+// to the next distance class (VC identifier = hop count), so with
+// N + M classes a packet can take up to M deroutes anywhere along its
+// path; distance classes make resource usage acyclic without escape paths.
+type OmniWAR struct {
+	topo    *topology.HyperX
+	classes int  // N + M distance classes
+	noB2B   bool // restrict back-to-back deroutes in the same dimension (§5.2 optimization)
+}
+
+// NewOmniWAR returns an OmniWAR with the given total number of distance
+// classes (N + M). classes must be at least the number of dimensions so a
+// minimal path is always completable.
+func NewOmniWAR(h *topology.HyperX, classes int, restrictB2B bool) (*OmniWAR, error) {
+	if classes < h.NumDims() {
+		return nil, fmt.Errorf("omniwar: need >= %d distance classes for a %d-D HyperX, got %d",
+			h.NumDims(), h.NumDims(), classes)
+	}
+	return &OmniWAR{topo: h, classes: classes, noB2B: restrictB2B}, nil
+}
+
+// MustOmniWAR is NewOmniWAR that panics on configuration error.
+func MustOmniWAR(h *topology.HyperX, classes int, restrictB2B bool) *OmniWAR {
+	a, err := NewOmniWAR(h, classes, restrictB2B)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements route.Algorithm.
+func (a *OmniWAR) Name() string {
+	if a.classes == a.topo.NumDims() {
+		return "MinAD" // no deroutes: adaptive minimal routing
+	}
+	return "OmniWAR"
+}
+
+// NumClasses implements route.Algorithm.
+func (a *OmniWAR) NumClasses() int { return a.classes }
+
+// MaxDeroutes returns M, the deroute budget.
+func (a *OmniWAR) MaxDeroutes() int { return a.classes - a.topo.NumDims() }
+
+// Meta implements route.Algorithm (Table 1 row).
+func (a *OmniWAR) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   false,
+		Style:        "incremental",
+		VCsRequired:  "N+M",
+		Deadlock:     "restricted routes + distance classes",
+		ArchRequires: "none",
+		PktContents:  "none",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *OmniWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+	minRem := int8(h.MinHops(r, dst))
+	if minRem == 0 {
+		return ctx.Cands[:0]
+	}
+	next := p.Hops // distance class for the next hop = hops taken so far
+	// Derouting is allowed only while the remaining distance classes
+	// exceed the remaining minimal hops (step 2 of §5.2): a deroute burns
+	// a class without reducing the minimal distance.
+	allowDeroute := a.classes-int(p.Hops) > int(minRem)
+
+	cands := ctx.Cands[:0]
+	for d, w := range h.Widths {
+		own := h.CoordDigit(r, d)
+		dstV := h.CoordDigit(dst, d)
+		if own == dstV {
+			continue // aligned dimension: no valid outputs (§5.2 step 3)
+		}
+		dim := int8(d)
+		cands = append(cands, route.Candidate{
+			Port:     h.DimPort(r, d, dstV),
+			Class:    next,
+			HopsLeft: minRem,
+			Dim:      dim,
+		})
+		if !allowDeroute || (a.noB2B && p.LastDerDim == dim) {
+			continue
+		}
+		for v := 0; v < w; v++ {
+			if v == own || v == dstV {
+				continue
+			}
+			cands = append(cands, route.Candidate{
+				Port:     h.DimPort(r, d, v),
+				Class:    next,
+				HopsLeft: minRem + 1,
+				Deroute:  true,
+				Dim:      dim,
+			})
+		}
+	}
+	return cands
+}

@@ -1,0 +1,128 @@
+package cost
+
+import "testing"
+
+// TestMaxHyperXPaperNumbers checks the Section 3.1 scalability claims for
+// 64-port routers exactly.
+func TestMaxHyperXPaperNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		dims, want int
+	}{
+		{2, 10648},
+		{3, 78608},
+		{4, 463736},
+	} {
+		got := MaxHyperX(64, tc.dims)
+		if got.Nodes != tc.want {
+			t.Errorf("MaxHyperX(64, %d) = %d nodes (widths %v, t=%d), want %d",
+				tc.dims, got.Nodes, got.Widths, got.Terms, tc.want)
+		}
+	}
+}
+
+// TestMaxHyperXInvariants checks structural invariants over a radix sweep.
+func TestMaxHyperXInvariants(t *testing.T) {
+	for k := 8; k <= 128; k += 4 {
+		for d := 1; d <= 4; d++ {
+			c := MaxHyperX(k, d)
+			if c.Nodes == 0 {
+				continue
+			}
+			sum := c.Terms
+			minW := c.Widths[0]
+			for _, w := range c.Widths {
+				sum += w - 1
+				if w < minW {
+					minW = w
+				}
+			}
+			if sum > k {
+				t.Fatalf("radix %d dims %d: ports used %d > radix", k, d, sum)
+			}
+			if c.Terms > minW {
+				t.Fatalf("radix %d dims %d: t=%d violates full bisection (minW=%d)", k, d, c.Terms, minW)
+			}
+		}
+	}
+}
+
+// TestScalabilityOrdering: at high radix, more dimensions scale further,
+// and Dragonfly out-scales 3-D HyperX (Figure 2's qualitative ordering).
+func TestScalabilityOrdering(t *testing.T) {
+	pts := ScalabilityCurve([]int{32, 64, 128})
+	for _, p := range pts {
+		if !(p.HyperX2 < p.HyperX3 && p.HyperX3 < p.HyperX4) {
+			t.Errorf("radix %d: HyperX scaling not monotone in dims: %d %d %d",
+				p.Radix, p.HyperX2, p.HyperX3, p.HyperX4)
+		}
+		if p.Dragonfly <= p.HyperX3 {
+			t.Errorf("radix %d: Dragonfly (%d) should out-scale HyperX-3 (%d)",
+				p.Radix, p.Dragonfly, p.HyperX3)
+		}
+		if p.FatTree >= p.Dragonfly {
+			t.Errorf("radix %d: 3-level fat tree (%d) should scale below Dragonfly (%d)",
+				p.Radix, p.FatTree, p.Dragonfly)
+		}
+	}
+}
+
+// TestScalabilityMonotoneInRadix: every topology's max size grows with
+// radix.
+func TestScalabilityMonotoneInRadix(t *testing.T) {
+	var prev ScalePoint
+	for i, p := range ScalabilityCurve([]int{16, 24, 32, 48, 64, 96, 128}) {
+		if i > 0 {
+			if p.HyperX3 < prev.HyperX3 || p.Dragonfly < prev.Dragonfly || p.FatTree < prev.FatTree {
+				t.Errorf("scale not monotone between radix %d and %d", prev.Radix, p.Radix)
+			}
+		}
+		prev = p
+	}
+}
+
+// TestCableCostShape reproduces Figure 3's two qualitative claims: with
+// copper-era DAC+AOC pricing the Dragonfly is cheaper (ratio < 1) at
+// large scale, and with passive optical cables the HyperX is equal or
+// cheaper (ratio >= ~1).
+func TestCableCostShape(t *testing.T) {
+	pts := CompareCableCost(DefaultGeometry(), []int{6, 8, 10, 12})
+	for _, p := range pts {
+		var dacRatio, optRatio float64
+		for i, name := range p.Tech {
+			switch name {
+			case "DAC+AOC@25GHz":
+				dacRatio = p.CostRatio[i]
+			case "PassiveOptical":
+				optRatio = p.CostRatio[i]
+			}
+		}
+		t.Logf("N~%d: dragonfly/hyperx cost ratio: 25GHz copper=%.3f passive optical=%.3f",
+			p.TargetNodes, dacRatio, optRatio)
+		if p.TargetNodes >= 4096 && dacRatio >= 1.0 {
+			t.Errorf("N=%d: with DAC+AOC, Dragonfly should be cheaper (ratio %.3f >= 1)", p.TargetNodes, dacRatio)
+		}
+		if optRatio < 0.97 {
+			t.Errorf("N=%d: with passive optics, HyperX should be equal or cheaper (ratio %.3f < 0.97)", p.TargetNodes, optRatio)
+		}
+	}
+}
+
+// TestCableHistogramsSane checks cable counts against closed forms.
+func TestCableHistogramsSane(t *testing.T) {
+	g := DefaultGeometry()
+	w := 4
+	hx := HyperXCables(g, w, w, w)
+	// 3 dims x W^2 instances x W(W-1)/2 links each.
+	want := 3 * w * w * w * (w - 1) / 2
+	if int(hx.TotalCables()) != want {
+		t.Errorf("hyperx cable count = %v, want %d", hx.TotalCables(), want)
+	}
+	p := 3
+	df := DragonflyCables(g, p)
+	a := 2 * p
+	groups := a*p + 1
+	wantDF := groups*a*(a-1)/2 + groups*(groups-1)/2
+	if int(df.TotalCables()) != wantDF {
+		t.Errorf("dragonfly cable count = %v, want %d", df.TotalCables(), wantDF)
+	}
+}

@@ -1,0 +1,159 @@
+// Package cost implements the paper's two analytic models: topology
+// scalability versus router radix (Figure 2) and the cabling cost
+// comparison between Dragonfly and HyperX under different link
+// technologies (Figure 3).
+package cost
+
+import "math"
+
+// HyperXConfig is a scalability-optimal HyperX for a given radix.
+type HyperXConfig struct {
+	Widths []int
+	Terms  int
+	Nodes  int
+}
+
+// MaxHyperX returns the HyperX configuration with the most nodes
+// buildable from routers of the given radix in the given number of
+// dimensions, under the full-bisection constraint t <= min(W). This
+// reproduces the paper's Section 3.1 numbers: with 64-port routers,
+// 10,648 nodes in 2-D, 78,608 in 3-D, and 463,736 in 4-D.
+func MaxHyperX(radix, dims int) HyperXConfig {
+	best := HyperXConfig{}
+	// Optimal widths are near-equal: search all splits of dims into
+	// widths W and W-1.
+	for w := 2; dims*(w-1) < radix; w++ {
+		for hi := 0; hi <= dims; hi++ { // hi dimensions of width w, rest w-1
+			widths := make([]int, dims)
+			sum := 0
+			ok := true
+			for i := range widths {
+				if i < hi {
+					widths[i] = w
+				} else {
+					widths[i] = w - 1
+				}
+				if widths[i] < 2 {
+					ok = false
+					break
+				}
+				sum += widths[i] - 1
+			}
+			if !ok || sum >= radix {
+				continue
+			}
+			t := radix - sum
+			minW := widths[dims-1]
+			if t > minW {
+				t = minW // full bisection: terminals per router <= min width
+			}
+			if t < 1 {
+				continue
+			}
+			nodes := t
+			for _, wd := range widths {
+				nodes *= wd
+			}
+			if nodes > best.Nodes {
+				best = HyperXConfig{Widths: widths, Terms: t, Nodes: nodes}
+			}
+		}
+	}
+	return best
+}
+
+// MaxDragonfly returns the node count of the balanced maximal Dragonfly
+// (a = 2p = 2h, g = a*h + 1) buildable from the given radix:
+// k = p + (a-1) + h = 4p - 1.
+func MaxDragonfly(radix int) int {
+	p := (radix + 1) / 4
+	if p < 1 {
+		return 0
+	}
+	a := 2 * p
+	g := a*p + 1
+	return p * a * g
+}
+
+// MaxFatTree returns the node count of a 3-level folded-Clos fat tree of
+// radix-k switches: k^3/4.
+func MaxFatTree(radix int) int {
+	if radix < 2 {
+		return 0
+	}
+	return radix * radix * radix / 4
+}
+
+// MaxSlimFly returns the approximate node count of a diameter-2 Slim Fly
+// (MMS graph): 2q^2 routers of network degree ~3q/2 with p ~ 3q/4
+// terminals each, so radix k ~ 9q/4 and N ~ 3q^3/2. The continuous
+// approximation ignores the prime-power constraint on q.
+func MaxSlimFly(radix int) int {
+	q := 4 * float64(radix) / 9
+	if q < 1 {
+		return 0
+	}
+	return int(1.5 * q * q * q)
+}
+
+// MaxHyperCube returns the node count of a binary hypercube with one
+// terminal per router: dimensions = radix-1, N = 2^(radix-1), capped to
+// avoid overflow for large radix.
+func MaxHyperCube(radix int) int {
+	n := radix - 1
+	if n < 1 {
+		return 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	return 1 << uint(n)
+}
+
+// ScalePoint is one (radix, nodes-per-topology) sample of Figure 2.
+type ScalePoint struct {
+	Radix     int
+	HyperX2   int
+	HyperX3   int
+	HyperX4   int
+	Dragonfly int
+	FatTree   int
+	SlimFly   int
+	HyperCube int
+}
+
+// ScalabilityCurve samples Figure 2 over the given radix grid.
+func ScalabilityCurve(radixes []int) []ScalePoint {
+	out := make([]ScalePoint, 0, len(radixes))
+	for _, k := range radixes {
+		out = append(out, ScalePoint{
+			Radix:     k,
+			HyperX2:   MaxHyperX(k, 2).Nodes,
+			HyperX3:   MaxHyperX(k, 3).Nodes,
+			HyperX4:   MaxHyperX(k, 4).Nodes,
+			Dragonfly: MaxDragonfly(k),
+			FatTree:   MaxFatTree(k),
+			SlimFly:   MaxSlimFly(k),
+			HyperCube: MaxHyperCube(k),
+		})
+	}
+	return out
+}
+
+// NearestDragonflyFor returns the balanced Dragonfly parameter p whose
+// node count is closest to target (used to build cost-comparable
+// configurations).
+func NearestDragonflyFor(target int) (p int, nodes int) {
+	best, bestN := 1, 0
+	bestD := math.MaxFloat64
+	for q := 1; q < 64; q++ {
+		n := q * 2 * q * (2*q*q + 1)
+		if d := math.Abs(float64(n - target)); d < bestD {
+			best, bestN, bestD = q, n, d
+		}
+		if n > 4*target {
+			break
+		}
+	}
+	return best, bestN
+}

@@ -1,0 +1,220 @@
+// Package network turns a static topology plus a routing algorithm into a
+// live event-driven simulation: routers with per-(port,VC) packet buffers
+// and credit-based flow control, serializing channels with pipeline
+// latency, and terminals with source queues.
+//
+// The model is a combined input/output-queued router with sufficient
+// internal speedup (Chuang et al.), as in the paper's evaluation: the
+// internal datapath is never the bottleneck, output channels serialize at
+// one flit per cycle, and age-based arbitration orders competing packets.
+// Packets move whole (packet-buffer flow control): a packet may cross to
+// the next router only when the downstream (port,VC) buffer has space for
+// all of its flits, and it then occupies the channel for exactly Len
+// cycles. This reproduces flit-accurate bandwidth, serialization, and
+// back-pressure behaviour while dispatching events per packet rather than
+// per flit.
+package network
+
+import (
+	"fmt"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// Config parameterizes a network build. Zero fields take the defaults
+// from the paper's evaluation (Section 6): 8 VCs, 50 ns crossbar, 50 ns
+// router-to-router channels, 5 ns terminal channels.
+type Config struct {
+	Topo topology.Topology
+	Alg  route.Algorithm
+
+	NumVCs        int      // physical VCs per port (default 8)
+	BufDepth      int      // flits of buffering per (port,VC) (default 256)
+	XbarLat       sim.Time // crossbar traversal latency (default 50)
+	RouterChanLat sim.Time // router-to-router channel latency (default 50)
+	TermChanLat   sim.Time // router-to-terminal channel latency (default 5)
+	MaxPktFlits   int      // largest packet (default 16)
+
+	// AtomicVCAlloc grants an output VC only when the downstream queue is
+	// completely empty — the atomic queue allocation of Section 4.2,
+	// required to run DAL on a high-radix router.
+	AtomicVCAlloc bool
+
+	// ClassSense switches routing-weight congestion sensing from the
+	// default per-port output-queue aggregate to per-resource-class
+	// occupancy (see route.Ctx.ClassSense; ablation knob).
+	ClassSense bool
+
+	// Arbiter selects the output-port arbitration policy among eligible
+	// competing packets (ablation knob; the paper uses age-based).
+	Arbiter Arbiter
+
+	// ReRouteInterval is how long a blocked head packet holds a routing
+	// decision before re-evaluating it (default 100 cycles).
+	ReRouteInterval sim.Time
+
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumVCs == 0 {
+		c.NumVCs = 8
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 256
+	}
+	if c.XbarLat == 0 {
+		c.XbarLat = 50
+	}
+	if c.RouterChanLat == 0 {
+		c.RouterChanLat = 50
+	}
+	if c.TermChanLat == 0 {
+		c.TermChanLat = 5
+	}
+	if c.MaxPktFlits == 0 {
+		c.MaxPktFlits = 16
+	}
+	if c.ReRouteInterval == 0 {
+		c.ReRouteInterval = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Arbiter is an output-port arbitration policy.
+type Arbiter uint8
+
+const (
+	// AgeArbiter grants the eligible packet with the oldest injection
+	// time — the paper's configuration, which stabilizes adversarial
+	// throughput.
+	AgeArbiter Arbiter = iota
+	// FIFOArbiter grants the eligible packet that has waited at this
+	// output longest (registration order).
+	FIFOArbiter
+	// RandomArbiter grants a uniformly random eligible packet.
+	RandomArbiter
+)
+
+// String implements fmt.Stringer.
+func (a Arbiter) String() string {
+	switch a {
+	case FIFOArbiter:
+		return "fifo"
+	case RandomArbiter:
+		return "random"
+	default:
+		return "age"
+	}
+}
+
+// Network is a live simulated network.
+type Network struct {
+	K   *sim.Kernel
+	Cfg Config
+
+	Routers   []*Router
+	Terminals []*Terminal
+
+	classVCs [][]int8 // resource class -> physical VCs
+
+	// OnDeliver, if set, is invoked when a packet's head reaches its
+	// destination terminal, before the packet is recycled.
+	OnDeliver func(p *route.Packet, at sim.Time)
+
+	// OnHop, if set, observes every router-to-router grant: the packet
+	// (with routing state already committed for this hop), the granting
+	// router, and the chosen output port and VC. Used for path tracing
+	// and hop statistics.
+	OnHop func(p *route.Packet, router, port int, vc int8)
+
+	pool    []*route.Packet
+	nextPkt uint64
+
+	// Aggregate counters.
+	InjectedPackets  uint64
+	InjectedFlits    uint64
+	DeliveredPackets uint64
+	DeliveredFlits   uint64
+}
+
+// New assembles a network over a fresh or shared kernel.
+func New(k *sim.Kernel, cfg Config) (*Network, error) {
+	cfg.applyDefaults()
+	if cfg.Topo == nil || cfg.Alg == nil {
+		return nil, fmt.Errorf("network: Topo and Alg are required")
+	}
+	nc := cfg.Alg.NumClasses()
+	if nc > cfg.NumVCs {
+		return nil, fmt.Errorf("network: algorithm %s needs %d classes but only %d VCs configured",
+			cfg.Alg.Name(), nc, cfg.NumVCs)
+	}
+	if cfg.MaxPktFlits > cfg.BufDepth {
+		return nil, fmt.Errorf("network: MaxPktFlits %d exceeds BufDepth %d", cfg.MaxPktFlits, cfg.BufDepth)
+	}
+	n := &Network{K: k, Cfg: cfg}
+
+	// Partition physical VCs evenly among resource classes; spare VCs
+	// widen the earlier classes (head-of-line-blocking reduction,
+	// footnote 4 of the paper).
+	n.classVCs = make([][]int8, nc)
+	base, extra := cfg.NumVCs/nc, cfg.NumVCs%nc
+	v := int8(0)
+	for c := 0; c < nc; c++ {
+		sz := base
+		if c < extra {
+			sz++
+		}
+		for i := 0; i < sz; i++ {
+			n.classVCs[c] = append(n.classVCs[c], v)
+			v++
+		}
+	}
+
+	topo := cfg.Topo
+	master := rng.New(cfg.Seed)
+	n.Routers = make([]*Router, topo.NumRouters())
+	for r := range n.Routers {
+		n.Routers[r] = newRouter(n, r, master.Derive(uint64(r)))
+	}
+	n.Terminals = make([]*Terminal, topo.NumTerminals())
+	for t := range n.Terminals {
+		n.Terminals[t] = newTerminal(n, t)
+	}
+	return n, nil
+}
+
+// VCsForClass returns the physical VCs backing a resource class.
+func (n *Network) VCsForClass(c int8) []int8 { return n.classVCs[c] }
+
+// NewPacket takes a packet from the pool.
+func (n *Network) NewPacket(src, dst, flits int) *route.Packet {
+	var p *route.Packet
+	if m := len(n.pool); m > 0 {
+		p = n.pool[m-1]
+		n.pool = n.pool[:m-1]
+	} else {
+		p = &route.Packet{}
+	}
+	n.nextPkt++
+	sr, _ := n.Cfg.Topo.TerminalPort(src)
+	dr, _ := n.Cfg.Topo.TerminalPort(dst)
+	*p = route.Packet{ID: n.nextPkt, Src: src, Dst: dst, SrcRouter: sr, DstRouter: dr, Len: flits}
+	p.Reset()
+	return p
+}
+
+// freePacket returns a packet to the pool.
+func (n *Network) freePacket(p *route.Packet) {
+	n.pool = append(n.pool, p)
+}
+
+// InFlight reports how many packets have been injected but not delivered.
+func (n *Network) InFlight() uint64 {
+	return n.InjectedPackets - n.DeliveredPackets
+}

@@ -1,0 +1,385 @@
+package network
+
+import (
+	"fmt"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// inputVC is one per-(port,VC) packet buffer. Occupancy accounting lives
+// at the sender as credits; the queue here holds the packets themselves.
+type inputVC struct {
+	q    []*route.Packet
+	head int
+}
+
+func (iv *inputVC) empty() bool { return iv.head >= len(iv.q) }
+
+func (iv *inputVC) front() *route.Packet { return iv.q[iv.head] }
+
+func (iv *inputVC) push(p *route.Packet) { iv.q = append(iv.q, p) }
+
+func (iv *inputVC) pop() *route.Packet {
+	p := iv.q[iv.head]
+	iv.q[iv.head] = nil
+	iv.head++
+	if iv.head > 64 && iv.head*2 > len(iv.q) {
+		n := copy(iv.q, iv.q[iv.head:])
+		iv.q = iv.q[:n]
+		iv.head = 0
+	}
+	return p
+}
+
+// inputPort groups the VC buffers of one input and remembers where
+// credits must be returned.
+type inputPort struct {
+	vcs []inputVC
+
+	fromTerminal int // terminal id, or -1
+	peerRouter   int // upstream router, or -1
+	peerPort     int
+	upLat        sim.Time // reverse-channel latency for credit return
+}
+
+// waiter is a head packet with a committed-pending routing choice,
+// queued on its chosen output port.
+type waiter struct {
+	pkt    *route.Packet
+	inPort int
+	inVC   int8
+	cand   route.Candidate // cand.Port == owning output
+	eject  bool
+	timer  *sim.Event
+	active bool
+}
+
+// outputPort models an output channel (1 flit/cycle serialization, fixed
+// pipeline latency) plus the credit state of the downstream buffer.
+type outputPort struct {
+	lat       sim.Time
+	busyUntil sim.Time
+	credits   []int // free flit slots downstream, per VC
+	waiters   []*waiter
+
+	toTerminal int // terminal id, or -1
+	peerRouter int
+	peerPort   int
+
+	queuedFlits int // flits of packets waiting on this output (congestion signal)
+
+	attemptAt sim.Time // time of the latest scheduled attempt, 0 = none
+
+	busyAccum sim.Time // total cycles this channel has carried flits
+	grants    uint64   // packets granted through this output
+}
+
+// Router is the combined input/output-queued router model.
+type Router struct {
+	net *Network
+	id  int
+	in  []inputPort
+	out []outputPort
+	ctx route.Ctx
+}
+
+func newRouter(n *Network, id int, rs *rng.Source) *Router {
+	topo := n.Cfg.Topo
+	np := topo.NumPorts()
+	r := &Router{net: n, id: id}
+	r.ctx = route.Ctx{Router: id, RNG: rs, ClassSense: n.Cfg.ClassSense, Cands: make([]route.Candidate, 0, 64)}
+	r.in = make([]inputPort, np)
+	r.out = make([]outputPort, np)
+	for p := 0; p < np; p++ {
+		ip := &r.in[p]
+		op := &r.out[p]
+		ip.vcs = make([]inputVC, n.Cfg.NumVCs)
+		ip.fromTerminal, ip.peerRouter, ip.peerPort = -1, -1, -1
+		op.toTerminal, op.peerRouter, op.peerPort = -1, -1, -1
+		op.credits = make([]int, n.Cfg.NumVCs)
+		switch topo.PortKind(id, p) {
+		case topology.Terminal:
+			t := topo.PortTerminal(id, p)
+			ip.fromTerminal = t
+			ip.upLat = n.Cfg.TermChanLat
+			op.toTerminal = t
+			op.lat = n.Cfg.TermChanLat
+			for v := range op.credits {
+				op.credits[v] = 1 << 30 // terminals always drain
+			}
+		case topology.Local, topology.Global:
+			pr, pp := topo.Peer(id, p)
+			ip.peerRouter, ip.peerPort = pr, pp
+			ip.upLat = n.Cfg.RouterChanLat
+			op.peerRouter, op.peerPort = pr, pp
+			op.lat = n.Cfg.RouterChanLat
+			for v := range op.credits {
+				op.credits[v] = n.Cfg.BufDepth
+			}
+		}
+	}
+	return r
+}
+
+// view adapts the router's output state to route.View.
+type view Router
+
+// ClassLoad implements route.View.
+func (v *view) ClassLoad(port int, class int8) int {
+	r := (*Router)(v)
+	o := &r.out[port]
+	depth := r.net.Cfg.BufDepth
+	best := depth // max possible occupancy
+	if o.toTerminal >= 0 {
+		best = 0
+	} else {
+		for _, vc := range r.net.classVCs[class] {
+			if occ := depth - o.credits[vc]; occ < best {
+				best = occ
+			}
+		}
+	}
+	return best + o.queuedFlits + r.residual(o)
+}
+
+// PortLoad implements route.View.
+func (v *view) PortLoad(port int) int {
+	r := (*Router)(v)
+	o := &r.out[port]
+	total := 0
+	if o.toTerminal < 0 {
+		depth := r.net.Cfg.BufDepth
+		for _, c := range o.credits {
+			total += depth - c
+		}
+	}
+	return total + o.queuedFlits + r.residual(o)
+}
+
+func (r *Router) residual(o *outputPort) int {
+	if d := o.busyUntil - r.net.K.Now(); d > 0 {
+		return int(d)
+	}
+	return 0
+}
+
+// arrive is called when a packet's head reaches input (port, vc).
+func (r *Router) arrive(p *route.Packet, port int, vc int8) {
+	iv := &r.in[port].vcs[vc]
+	p.VC = vc
+	iv.push(p)
+	if iv.head == len(iv.q)-1 { // became head
+		r.routeHead(port, vc)
+	}
+}
+
+// routeHead computes (or recomputes) the routing decision for the head
+// packet of input (port, vc) and registers it on the chosen output.
+func (r *Router) routeHead(port int, vc int8) {
+	iv := &r.in[port].vcs[vc]
+	p := iv.front()
+	w := &waiter{pkt: p, inPort: port, inVC: vc, active: true}
+	if p.DstRouter == r.id {
+		_, ejPort := r.net.Cfg.Topo.TerminalPort(p.Dst)
+		w.eject = true
+		w.cand = route.Candidate{Port: ejPort, Class: -1, HopsLeft: 0}
+	} else {
+		ctx := &r.ctx
+		ctx.InPort = port
+		ctx.View = (*view)(r)
+		cands := r.net.Cfg.Alg.Route(ctx, p)
+		ctx.Cands = cands // keep the grown buffer for reuse
+		if len(cands) == 0 {
+			panic(fmt.Sprintf("network: %s produced no route at router %d for packet %d->%d (hops=%d class=%d phase=%d inter=%d)",
+				r.net.Cfg.Alg.Name(), r.id, p.Src, p.Dst, p.Hops, p.Class, p.Phase, p.Inter))
+		}
+		w.cand = cands[route.SelectMinWeight(ctx, cands)]
+		// A blocked decision goes stale; re-evaluate periodically so
+		// incremental adaptivity keeps responding to changing congestion.
+		w.timer = r.net.K.After(r.net.Cfg.ReRouteInterval, func() { r.reroute(w) })
+	}
+	o := &r.out[w.cand.Port]
+	o.waiters = append(o.waiters, w)
+	o.queuedFlits += p.Len
+	r.attempt(w.cand.Port)
+}
+
+// reroute re-runs route computation for a still-blocked waiter.
+func (r *Router) reroute(w *waiter) {
+	if !w.active {
+		return
+	}
+	r.unregister(w)
+	r.routeHead(w.inPort, w.inVC)
+}
+
+// unregister removes a waiter from its output's wait list.
+func (r *Router) unregister(w *waiter) {
+	w.active = false
+	if w.timer != nil {
+		r.net.K.Cancel(w.timer)
+		w.timer = nil
+	}
+	o := &r.out[w.cand.Port]
+	for i, x := range o.waiters {
+		if x == w {
+			last := len(o.waiters) - 1
+			o.waiters[i] = o.waiters[last]
+			o.waiters[last] = nil
+			o.waiters = o.waiters[:last]
+			break
+		}
+	}
+	o.queuedFlits -= w.pkt.Len
+}
+
+// pickVC selects the physical VC for a grant: the most-credited VC of the
+// resource class that can hold the whole packet (or, under atomic queue
+// allocation, whose downstream buffer is completely empty). Returns -1 if
+// none qualifies.
+func (r *Router) pickVC(o *outputPort, class int8, flits int) int8 {
+	if o.toTerminal >= 0 {
+		return 0
+	}
+	need := flits
+	if r.net.Cfg.AtomicVCAlloc {
+		need = r.net.Cfg.BufDepth
+	}
+	best, bestCr := int8(-1), 0
+	for _, vc := range r.net.classVCs[class] {
+		if cr := o.credits[vc]; cr >= need && cr > bestCr {
+			best, bestCr = vc, cr
+		}
+	}
+	return best
+}
+
+// attempt tries to grant the output channel of port to the oldest
+// eligible waiter (age-based arbitration).
+func (r *Router) attempt(port int) {
+	o := &r.out[port]
+	now := r.net.K.Now()
+	if o.busyUntil > now {
+		r.scheduleAttempt(port, o.busyUntil)
+		return
+	}
+	if len(o.waiters) == 0 {
+		return
+	}
+	var best *waiter
+	var bestVC int8
+	eligible := 0
+	for _, w := range o.waiters {
+		vc := r.pickVC(o, w.cand.Class, w.pkt.Len)
+		if vc < 0 {
+			continue
+		}
+		eligible++
+		switch r.net.Cfg.Arbiter {
+		case FIFOArbiter:
+			// Waiters register in arrival order; keep the first eligible.
+			if best == nil {
+				best, bestVC = w, vc
+			}
+		case RandomArbiter:
+			// Reservoir-sample among the eligible.
+			if best == nil || r.ctx.RNG.Intn(eligible) == 0 {
+				best, bestVC = w, vc
+			}
+		default: // AgeArbiter
+			if best == nil || w.pkt.Birth < best.pkt.Birth {
+				best, bestVC = w, vc
+			}
+		}
+	}
+	if best == nil {
+		return
+	}
+	r.grant(o, best, bestVC)
+}
+
+// scheduleAttempt schedules an attempt for port at time t, deduplicating.
+func (r *Router) scheduleAttempt(port int, t sim.Time) {
+	o := &r.out[port]
+	if o.attemptAt > 0 && o.attemptAt <= t {
+		return // an attempt at or before t is already pending
+	}
+	o.attemptAt = t
+	r.net.K.At(t, func() {
+		if o.attemptAt == t {
+			o.attemptAt = 0
+		}
+		r.attempt(port)
+	})
+}
+
+// grant moves a packet from its input buffer across the crossbar and
+// channel, reserving downstream space and returning upstream credits as
+// the flits drain.
+func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
+	k := r.net.K
+	now := k.Now()
+	iv := &r.in[w.inPort].vcs[w.inVC]
+	p := iv.pop()
+	r.unregister(w)
+
+	flits := p.Len
+	o.busyUntil = now + sim.Time(flits)
+	o.busyAccum += sim.Time(flits)
+	o.grants++
+
+	if o.toTerminal >= 0 {
+		net := r.net
+		k.At(now+net.Cfg.XbarLat+o.lat, func() { net.deliver(p) })
+	} else {
+		route.Commit(p, &w.cand)
+		o.credits[vc] -= flits
+		p.VC = vc
+		if r.net.OnHop != nil {
+			r.net.OnHop(p, r.id, w.cand.Port, vc)
+		}
+		dst := r.net.Routers[o.peerRouter]
+		dp := o.peerPort
+		k.At(now+r.net.Cfg.XbarLat+o.lat, func() { dst.arrive(p, dp, vc) })
+	}
+
+	// Upstream credit return: the last flit leaves our input buffer at
+	// now+flits; the credit crosses the reverse channel after upLat.
+	ip := &r.in[w.inPort]
+	inVC := w.inVC
+	if ip.fromTerminal >= 0 {
+		term := r.net.Terminals[ip.fromTerminal]
+		k.At(now+sim.Time(flits)+ip.upLat, func() { term.creditArrive(inVC, flits) })
+	} else {
+		up := r.net.Routers[ip.peerRouter]
+		upPort := ip.peerPort
+		k.At(now+sim.Time(flits)+ip.upLat, func() { up.creditArrive(upPort, inVC, flits) })
+	}
+
+	if !iv.empty() {
+		r.routeHead(w.inPort, w.inVC)
+	}
+	if len(o.waiters) > 0 {
+		r.scheduleAttempt(w.cand.Port, o.busyUntil)
+	}
+}
+
+// creditArrive restores downstream space on (port, vc) and retries the
+// output.
+func (r *Router) creditArrive(port int, vc int8, flits int) {
+	r.out[port].credits[vc] += flits
+	r.attempt(port)
+}
+
+// deliver completes a packet at its destination terminal.
+func (n *Network) deliver(p *route.Packet) {
+	n.DeliveredPackets++
+	n.DeliveredFlits += uint64(p.Len)
+	if n.OnDeliver != nil {
+		n.OnDeliver(p, n.K.Now())
+	}
+	n.freePacket(p)
+}

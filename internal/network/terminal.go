@@ -1,0 +1,118 @@
+package network
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+// Terminal is a network endpoint: an unbounded source queue feeding the
+// injection channel, plus the ejection side handled by Network.deliver.
+// Source queueing time counts toward packet latency, so saturation shows
+// up as unbounded latency growth exactly as in the paper's methodology.
+type Terminal struct {
+	net    *Network
+	id     int
+	router int
+	rport  int
+
+	lat       sim.Time
+	busyUntil sim.Time
+	credits   []int
+	q         []*route.Packet
+	head      int
+
+	retryAt sim.Time
+}
+
+func newTerminal(n *Network, id int) *Terminal {
+	r, p := n.Cfg.Topo.TerminalPort(id)
+	t := &Terminal{net: n, id: id, router: r, rport: p, lat: n.Cfg.TermChanLat}
+	t.credits = make([]int, n.Cfg.NumVCs)
+	for v := range t.credits {
+		t.credits[v] = n.Cfg.BufDepth
+	}
+	return t
+}
+
+// ID returns the terminal's index.
+func (t *Terminal) ID() int { return t.id }
+
+// QueueLen returns the number of packets waiting in the source queue.
+func (t *Terminal) QueueLen() int { return len(t.q) - t.head }
+
+// Send enqueues a packet created by Network.NewPacket for injection. The
+// packet's Birth is stamped with the current time.
+func (t *Terminal) Send(p *route.Packet) {
+	p.Birth = t.net.K.Now()
+	t.q = append(t.q, p)
+	t.tryInject()
+}
+
+// tryInject pushes queued packets into the injection channel while
+// credits and channel bandwidth allow.
+func (t *Terminal) tryInject() {
+	k := t.net.K
+	for t.head < len(t.q) {
+		now := k.Now()
+		if t.busyUntil > now {
+			t.scheduleRetry(t.busyUntil)
+			return
+		}
+		p := t.q[t.head]
+		vc := t.pickVC(p.Len)
+		if vc < 0 {
+			return // wait for a credit event
+		}
+		t.q[t.head] = nil
+		t.head++
+		if t.head > 64 && t.head*2 > len(t.q) {
+			n := copy(t.q, t.q[t.head:])
+			t.q = t.q[:n]
+			t.head = 0
+		}
+		t.credits[vc] -= p.Len
+		t.busyUntil = now + sim.Time(p.Len)
+		p.Inject = now
+		t.net.InjectedPackets++
+		t.net.InjectedFlits += uint64(p.Len)
+		rt := t.net.Routers[t.router]
+		port := t.rport
+		k.At(now+t.lat, func() { rt.arrive(p, port, vc) })
+	}
+}
+
+// pickVC picks the most-credited VC that can hold the packet, or -1.
+// Injection channels carry no deadlock constraint (terminals always
+// drain), so any VC is admissible.
+func (t *Terminal) pickVC(flits int) int8 {
+	need := flits
+	if t.net.Cfg.AtomicVCAlloc {
+		need = t.net.Cfg.BufDepth
+	}
+	best, bestCr := -1, 0
+	for vc, cr := range t.credits {
+		if cr >= need && cr > bestCr {
+			best, bestCr = vc, cr
+		}
+	}
+	return int8(best)
+}
+
+func (t *Terminal) scheduleRetry(at sim.Time) {
+	if t.retryAt > 0 && t.retryAt <= at {
+		return
+	}
+	t.retryAt = at
+	t.net.K.At(at, func() {
+		if t.retryAt == at {
+			t.retryAt = 0
+		}
+		t.tryInject()
+	})
+}
+
+// creditArrive restores injection credits.
+func (t *Terminal) creditArrive(vc int8, flits int) {
+	t.credits[vc] += flits
+	t.tryInject()
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"testing"
+
+	"hyperx/internal/core"
+	"hyperx/internal/route"
+	"hyperx/internal/routing"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// TestPathStatsDOR: DOR paths average exactly the mean minimal hop count
+// and never deroute.
+func TestPathStatsDOR(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	n := buildNet(t, h, routing.NewDOR(h), nil)
+	var ps PathStats
+	ps.Attach(n)
+	sent := 0
+	for src := 0; src < h.NumTerminals(); src++ {
+		dst := (src + 13) % h.NumTerminals()
+		if dst == src {
+			continue
+		}
+		n.Terminals[src].Send(n.NewPacket(src, dst, 2))
+		sent++
+	}
+	n.K.Run(0)
+	if int(ps.Delivered) != sent {
+		t.Fatalf("delivered %d of %d", ps.Delivered, sent)
+	}
+	if ps.DerouteRate() != 0 {
+		t.Errorf("DOR deroute rate %v", ps.DerouteRate())
+	}
+	// Mean hops must equal the average MinHops of the sent pairs.
+	want := 0.0
+	for src := 0; src < h.NumTerminals(); src++ {
+		dst := (src + 13) % h.NumTerminals()
+		if dst == src {
+			continue
+		}
+		want += float64(h.MinHops(src/h.Terms, dst/h.Terms))
+	}
+	want /= float64(sent)
+	if got := ps.MeanHops(); got != want {
+		t.Errorf("mean hops %v, want %v", got, want)
+	}
+}
+
+// TestPathStatsVALDoubles: VAL's mean path length is roughly twice
+// minimal.
+func TestPathStatsVALDoubles(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 2)
+	dor := func() float64 {
+		n := buildNet(t, h, routing.NewDOR(h), nil)
+		var ps PathStats
+		ps.Attach(n)
+		for src := 0; src < h.NumTerminals(); src++ {
+			n.Terminals[src].Send(n.NewPacket(src, (src+77)%h.NumTerminals(), 2))
+		}
+		n.K.Run(0)
+		return ps.MeanHops()
+	}()
+	val := func() float64 {
+		n := buildNet(t, h, routing.NewVAL(h), nil)
+		var ps PathStats
+		ps.Attach(n)
+		for src := 0; src < h.NumTerminals(); src++ {
+			n.Terminals[src].Send(n.NewPacket(src, (src+77)%h.NumTerminals(), 2))
+		}
+		n.K.Run(0)
+		return ps.MeanHops()
+	}()
+	if val < 1.4*dor || val > 2.6*dor {
+		t.Errorf("VAL mean hops %.2f not ~2x DOR's %.2f", val, dor)
+	}
+}
+
+// TestLinkUtilizationFunnel: under a complement pattern in one dimension,
+// DOR concentrates all traffic of a row onto single links, so max link
+// utilization far exceeds the mean.
+func TestLinkUtilizationFunnel(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	n := buildNet(t, h, routing.NewDOR(h), nil)
+	for k := 0; k < 20; k++ {
+		for src := 0; src < h.NumTerminals(); src++ {
+			n.Terminals[src].Send(n.NewPacket(src, h.NumTerminals()-1-src, 8))
+		}
+	}
+	n.K.Run(0)
+	max, mean := n.MaxLinkUtilization(), n.MeanLinkUtilization()
+	if max <= 2*mean {
+		t.Errorf("complement+DOR: max utilization %.3f not >> mean %.3f", max, mean)
+	}
+	ls := n.LinkUtilization()
+	if len(ls) == 0 || ls[0].Utilization != max {
+		t.Fatal("LinkUtilization not sorted hottest-first")
+	}
+	if ls[0].Grants == 0 {
+		t.Error("hottest link has no grants")
+	}
+}
+
+// TestArbiterPolicies: all three arbitration policies deliver everything;
+// age arbitration bounds worst-case latency no worse than random.
+func TestArbiterPolicies(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	run := func(a Arbiter) (worst sim.Time) {
+		n := buildNet(t, h, core.NewDimWAR(h), func(c *Config) { c.Arbiter = a })
+		n.OnDeliver = func(p *route.Packet, at sim.Time) {
+			if l := at - p.Birth; l > worst {
+				worst = l
+			}
+		}
+		for k := 0; k < 10; k++ {
+			for src := 0; src < h.NumTerminals(); src++ {
+				n.Terminals[src].Send(n.NewPacket(src, h.NumTerminals()-1-src, 8))
+			}
+		}
+		n.K.Run(0)
+		if n.DeliveredPackets != uint64(10*h.NumTerminals()) {
+			t.Fatalf("arbiter %v: delivered %d", a, n.DeliveredPackets)
+		}
+		return worst
+	}
+	age := run(AgeArbiter)
+	fifo := run(FIFOArbiter)
+	rnd := run(RandomArbiter)
+	t.Logf("worst-case latency: age=%d fifo=%d random=%d", age, fifo, rnd)
+	if age > rnd*3/2 {
+		t.Errorf("age arbitration worst case (%d) much worse than random (%d)", age, rnd)
+	}
+}
+
+// TestArbiterString covers the policy names.
+func TestArbiterString(t *testing.T) {
+	if AgeArbiter.String() != "age" || FIFOArbiter.String() != "fifo" || RandomArbiter.String() != "random" {
+		t.Error("arbiter names wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	s := New(7)
+	a, b := s.Derive(1), s.Derive(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d times", same)
+	}
+	// Derive must not advance the parent.
+	s2 := New(7)
+	s2.Derive(1)
+	if s.Uint64() != s2.Uint64() {
+		t.Fatal("Derive advanced parent state")
+	}
+}
+
+// TestIntnBounds: values always land in [0, n).
+func TestIntnBounds(t *testing.T) {
+	s := New(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// TestIntnUniformity: chi-squared-ish check over 8 buckets.
+func TestIntnUniformity(t *testing.T) {
+	s := New(99)
+	const buckets, n = 8, 80000
+	var c [buckets]int
+	for i := 0; i < n; i++ {
+		c[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, got := range c {
+		if math.Abs(float64(got)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d vs expected %.0f", i, got, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(10)
+	}
+	mean := sum / n
+	if mean < 9.8 || mean > 10.2 {
+		t.Errorf("exponential mean %.3f, want ~10", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := make([]int, 257)
+	s.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestMul64 against the stdlib's 128-bit multiply identity via known
+// cases.
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package route
+
+import (
+	"testing"
+
+	"hyperx/internal/rng"
+)
+
+// tableView returns fixed loads per (port, class-agnostic).
+type tableView struct {
+	port  map[int]int
+	class map[[2]int]int
+}
+
+func (v tableView) PortLoad(p int) int          { return v.port[p] }
+func (v tableView) ClassLoad(p int, c int8) int { return v.class[[2]int{p, int(c)}] }
+
+func ctxWith(v View, classSense bool) *Ctx {
+	return &Ctx{View: v, RNG: rng.New(1), ClassSense: classSense}
+}
+
+func TestSelectMinWeightPrefersLowCongestion(t *testing.T) {
+	v := tableView{port: map[int]int{0: 100, 1: 2}}
+	cands := []Candidate{
+		{Port: 0, HopsLeft: 3},
+		{Port: 1, HopsLeft: 4, Deroute: true},
+	}
+	// (100+1)*3 = 303 vs (2+1)*4 = 12: the longer, colder path wins.
+	if got := SelectMinWeight(ctxWith(v, false), cands); got != 1 {
+		t.Errorf("selected %d, want the cold deroute", got)
+	}
+}
+
+func TestSelectMinWeightZeroLoadPrefersMinimal(t *testing.T) {
+	v := tableView{port: map[int]int{}}
+	cands := []Candidate{
+		{Port: 0, HopsLeft: 4, Deroute: true},
+		{Port: 1, HopsLeft: 3},
+		{Port: 2, HopsLeft: 4, Deroute: true},
+	}
+	// All loads zero: the +1 offset makes weight = hopcount, minimal wins.
+	if got := SelectMinWeight(ctxWith(v, false), cands); got != 1 {
+		t.Errorf("selected %d, want the minimal candidate at zero load", got)
+	}
+}
+
+func TestSelectMinWeightTieBreaksUniformly(t *testing.T) {
+	v := tableView{port: map[int]int{}}
+	cands := []Candidate{
+		{Port: 0, HopsLeft: 3},
+		{Port: 1, HopsLeft: 3},
+		{Port: 2, HopsLeft: 3},
+	}
+	counts := make([]int, 3)
+	ctx := ctxWith(v, false)
+	for i := 0; i < 3000; i++ {
+		counts[SelectMinWeight(ctx, cands)]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("tie-break skewed: candidate %d chosen %d/3000", i, c)
+		}
+	}
+}
+
+func TestSelectMinWeightClassSense(t *testing.T) {
+	v := tableView{
+		port:  map[int]int{0: 50, 1: 50}, // ports look identical
+		class: map[[2]int]int{{0, 0}: 50, {1, 1}: 0},
+	}
+	cands := []Candidate{
+		{Port: 0, Class: 0, HopsLeft: 3},
+		{Port: 1, Class: 1, HopsLeft: 6},
+	}
+	// Port sensing: (50+1)*3 < (50+1)*6 -> minimal (index 0).
+	if got := SelectMinWeight(ctxWith(v, false), cands); got != 0 {
+		t.Errorf("port sensing selected %d, want 0", got)
+	}
+	// Class sensing sees the empty class-1 buffers: (0+1)*6 < (50+1)*3.
+	if got := SelectMinWeight(ctxWith(v, true), cands); got != 1 {
+		t.Errorf("class sensing selected %d, want 1", got)
+	}
+}
+
+func TestCommitMinimalHop(t *testing.T) {
+	p := &Packet{}
+	p.Reset()
+	Commit(p, &Candidate{Class: 1, NewPhase: 1})
+	if p.Hops != 1 || p.Class != 1 || p.Phase != 1 || p.LastDerDim != -1 {
+		t.Errorf("after minimal commit: %+v", p)
+	}
+	if p.Derouted != 0 {
+		t.Errorf("minimal hop set deroute mask")
+	}
+}
+
+func TestCommitDeroute(t *testing.T) {
+	p := &Packet{}
+	p.Reset()
+	Commit(p, &Candidate{Deroute: true, Dim: 2, Class: 1})
+	if p.Derouted != 1<<2 || p.LastDerDim != 2 {
+		t.Errorf("after deroute commit: %+v", p)
+	}
+	// A following minimal hop clears LastDerDim but keeps the mask.
+	Commit(p, &Candidate{Class: 0})
+	if p.LastDerDim != -1 || p.Derouted != 1<<2 {
+		t.Errorf("after subsequent minimal: %+v", p)
+	}
+	if p.Hops != 2 {
+		t.Errorf("hops = %d", p.Hops)
+	}
+}
+
+func TestCommitIntermediate(t *testing.T) {
+	p := &Packet{}
+	p.Reset()
+	Commit(p, &Candidate{SetInter: true, Inter: 42})
+	if p.Inter != 42 {
+		t.Errorf("inter = %d", p.Inter)
+	}
+	Commit(p, &Candidate{}) // no SetInter: unchanged
+	if p.Inter != 42 {
+		t.Errorf("inter clobbered: %d", p.Inter)
+	}
+	Commit(p, &Candidate{SetInter: true, Inter: -1})
+	if p.Inter != -1 {
+		t.Errorf("inter not cleared: %d", p.Inter)
+	}
+}
+
+func TestPacketReset(t *testing.T) {
+	p := &Packet{Inter: 9, Phase: 2, Hops: 5, Class: 3, VC: 4, Derouted: 7, LastDerDim: 1}
+	p.Reset()
+	if p.Inter != -1 || p.Phase != 0 || p.Hops != 0 || p.Class != 0 || p.VC != -1 ||
+		p.Derouted != 0 || p.LastDerDim != -1 {
+		t.Errorf("reset left state: %+v", p)
+	}
+}

@@ -1,0 +1,67 @@
+// Package routetest provides a topology-level walker for unit-testing
+// routing algorithms without the full router model: it repeatedly calls
+// the algorithm, selects by weight under a synthetic congestion view, and
+// teleports the packet across the chosen link.
+package routetest
+
+import (
+	"fmt"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// StubView is a congestion view with settable per-(router,port) loads.
+type StubView struct {
+	Loads map[[2]int]int // (router, port) -> load
+	r     int
+}
+
+// ClassLoad implements route.View.
+func (v *StubView) ClassLoad(port int, _ int8) int { return v.Loads[[2]int{v.r, port}] }
+
+// PortLoad implements route.View.
+func (v *StubView) PortLoad(port int) int { return v.Loads[[2]int{v.r, port}] }
+
+// Hop records one step of a walk.
+type Hop struct {
+	Router int
+	Cand   route.Candidate
+}
+
+// Walk drives a packet from srcRouter to dstRouter, committing the
+// weight-selected candidate at every hop. It returns the hop sequence or
+// an error if the algorithm emits no candidates or exceeds maxHops.
+func Walk(topo topology.Topology, alg route.Algorithm, srcRouter, dstRouter, maxHops int, seed uint64, view *StubView) ([]Hop, *route.Packet, error) {
+	if view == nil {
+		view = &StubView{}
+	}
+	p := &route.Packet{Src: -1, Dst: -1, SrcRouter: srcRouter, DstRouter: dstRouter, Len: 1}
+	p.Reset()
+	ctx := &route.Ctx{RNG: rng.New(seed), View: view, InPort: -1}
+	cur := srcRouter
+	var hops []Hop
+	for cur != dstRouter {
+		if len(hops) > maxHops {
+			return hops, p, fmt.Errorf("exceeded %d hops from %d to %d", maxHops, srcRouter, dstRouter)
+		}
+		ctx.Router = cur
+		view.r = cur
+		cands := alg.Route(ctx, p)
+		ctx.Cands = cands
+		if len(cands) == 0 {
+			return hops, p, fmt.Errorf("no candidates at router %d (hops=%d class=%d phase=%d inter=%d)",
+				cur, p.Hops, p.Class, p.Phase, p.Inter)
+		}
+		c := cands[route.SelectMinWeight(ctx, cands)]
+		if topo.PortKind(cur, c.Port) != topology.Local && topo.PortKind(cur, c.Port) != topology.Global {
+			return hops, p, fmt.Errorf("candidate port %d at router %d is not a router link", c.Port, cur)
+		}
+		route.Commit(p, &c)
+		hops = append(hops, Hop{Router: cur, Cand: c})
+		cur, _ = topo.Peer(cur, c.Port)
+		ctx.InPort = 0 // arbitrary non-injection marker
+	}
+	return hops, p, nil
+}

@@ -1,0 +1,136 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// ClosAD is the Adaptive Clos algorithm of the Flattened Butterfly paper
+// (Kim et al., ISCA '07), labeled UGAL+ in the evaluation plots: UGAL with
+// least-common-ancestor intermediate selection. At the source router it
+// weighs every output port in every unaligned dimension — the minimal port
+// of each such dimension and all lateral ports — and if a non-minimal port
+// wins, draws a random intermediate router consistent with that port that
+// never moves the packet away in an already-aligned dimension.
+//
+// Per Section 4.1 the sequential-allocation optimization is architecturally
+// infeasible in high-radix routers and is deliberately not implemented,
+// matching the paper's evaluation configuration.
+type ClosAD struct {
+	topo *topology.HyperX
+}
+
+// NewClosAD returns a Clos-AD instance for the given HyperX.
+func NewClosAD(h *topology.HyperX) *ClosAD { return &ClosAD{topo: h} }
+
+// Name implements route.Algorithm.
+func (a *ClosAD) Name() string { return "UGAL+" }
+
+// NumClasses implements route.Algorithm.
+func (a *ClosAD) NumClasses() int { return 2 }
+
+// Meta implements route.Algorithm.
+func (a *ClosAD) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   true,
+		Style:        "source",
+		VCsRequired:  "2",
+		Deadlock:     "restricted routes + resource classes",
+		ArchRequires: "sequential allocation (omitted, §4.1)",
+		PktContents:  "int. addr.",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *ClosAD) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+
+	if p.Hops == 0 && p.Phase == 0 && p.Inter < 0 {
+		minHops := int8(h.MinHops(r, dst))
+		firstDim := h.FirstUnalignedDim(r, dst)
+		cands := ctx.Cands[:0]
+		for d, w := range h.Widths {
+			own := h.CoordDigit(r, d)
+			dstV := h.CoordDigit(dst, d)
+			if own == dstV {
+				continue // LCA restriction: never leave an aligned dimension
+			}
+			dim := int8(d)
+			for v := 0; v < w; v++ {
+				if v == own {
+					continue
+				}
+				if v == dstV {
+					// Minimal port. If it follows dimension order it joins
+					// the phase-1 DOR class directly; otherwise it rides
+					// class 0 as a one-hop phase 0 (with the next router as
+					// its own intermediate) so that class-1 channels only
+					// ever carry ascending dimension-order traffic.
+					c := route.Candidate{
+						Port:     h.DimPort(r, d, v),
+						Class:    1,
+						HopsLeft: minHops,
+						Dim:      dim,
+						NewPhase: 1,
+						SetInter: true,
+						Inter:    -1,
+					}
+					if d != firstDim {
+						c.Class = 0
+						c.NewPhase = 0
+						c.Inter = int32(h.WithDigit(r, d, v))
+					}
+					cands = append(cands, c)
+					continue
+				}
+				inter := a.drawIntermediate(ctx, p, d, v)
+				hops := int8(h.MinHops(r, inter) + h.MinHops(inter, dst))
+				cands = append(cands, route.Candidate{
+					Port:     h.DimPort(r, d, v),
+					Class:    0,
+					HopsLeft: hops,
+					Deroute:  true,
+					Dim:      dim,
+					NewPhase: 0,
+					SetInter: true,
+					Inter:    int32(inter),
+				})
+			}
+		}
+		return cands
+	}
+	if p.Phase == 0 {
+		if r == p.Inter {
+			return dorStep(h, ctx, p, dst, 1, true, -1)
+		}
+		return dorStep(h, ctx, p, p.Inter, 0, false, 0)
+	}
+	return dorStep(h, ctx, p, dst, 1, false, 0)
+}
+
+// drawIntermediate picks a random intermediate router such that (a) the
+// weighed output port (dimension d toward value v) is the first
+// dimension-order hop toward it, (b) it matches the destination in every
+// dimension where source and destination are already aligned (the
+// least-common-ancestor rule), and (c) it matches the source in unaligned
+// dimensions below d. Constraint (c) keeps every phase-0 path a pure
+// ascending dimension-order walk, which is what makes two resource classes
+// sufficient; those low dimensions are resolved minimally in phase 1.
+func (a *ClosAD) drawIntermediate(ctx *route.Ctx, p *route.Packet, d, v int) int {
+	h := a.topo
+	inter := p.DstRouter // start from dst: aligned dims automatically match
+	for e, w := range h.Widths {
+		switch {
+		case e == d:
+			inter = h.WithDigit(inter, e, v)
+		case h.CoordDigit(ctx.Router, e) != h.CoordDigit(p.DstRouter, e):
+			if e < d {
+				inter = h.WithDigit(inter, e, h.CoordDigit(ctx.Router, e))
+			} else {
+				inter = h.WithDigit(inter, e, ctx.RNG.Intn(w))
+			}
+		}
+	}
+	return inter
+}

@@ -1,0 +1,54 @@
+// Package routing implements the baseline routing algorithms the paper
+// evaluates against (Table 2) — DOR, VAL, UGAL, Clos-AD (UGAL+) — plus the
+// prior-work DAL algorithm of Section 4.2, minimal-adaptive routing, and
+// the routing algorithms of the comparison topologies (fat tree and
+// Dragonfly) used by the motivation experiments.
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// DOR is deterministic dimension-order routing on HyperX: resolve each
+// unaligned dimension in ascending order with the single direct hop.
+// Restricted routes make it deadlock free with one resource class.
+type DOR struct {
+	topo *topology.HyperX
+}
+
+// NewDOR returns a DOR instance for the given HyperX.
+func NewDOR(h *topology.HyperX) *DOR { return &DOR{topo: h} }
+
+// Name implements route.Algorithm.
+func (a *DOR) Name() string { return "DOR" }
+
+// NumClasses implements route.Algorithm.
+func (a *DOR) NumClasses() int { return 1 }
+
+// Meta implements route.Algorithm.
+func (a *DOR) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   true,
+		Style:        "oblivious",
+		VCsRequired:  "1",
+		Deadlock:     "restricted routes",
+		ArchRequires: "none",
+		PktContents:  "none",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *DOR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	d := h.FirstUnalignedDim(ctx.Router, p.DstRouter)
+	if d < 0 {
+		return ctx.Cands[:0]
+	}
+	return append(ctx.Cands[:0], route.Candidate{
+		Port:     h.DimPort(ctx.Router, d, h.CoordDigit(p.DstRouter, d)),
+		Class:    0,
+		HopsLeft: int8(h.MinHops(ctx.Router, p.DstRouter)),
+		Dim:      int8(d),
+	})
+}

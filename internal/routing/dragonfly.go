@@ -1,0 +1,166 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// DragonflyUGAL is UGAL on the Dragonfly (Kim et al., ISCA '08): at the
+// source router it weighs the minimal (local, global, local) path against
+// a Valiant path through a random intermediate group, then follows the
+// chosen path minimally. Hop-indexed distance classes (at most five hops
+// on a Valiant path) provide deadlock freedom.
+//
+// The valiantOnly and minimalOnly flags degrade the algorithm to pure VAL
+// or pure MIN, used by the Figure 4 comparison harness.
+type DragonflyUGAL struct {
+	topo        *topology.Dragonfly
+	valiantOnly bool
+	minimalOnly bool
+}
+
+// NewDragonflyUGAL returns Dragonfly UGAL routing.
+func NewDragonflyUGAL(d *topology.Dragonfly) *DragonflyUGAL {
+	return &DragonflyUGAL{topo: d}
+}
+
+// NewDragonflyMIN returns minimal Dragonfly routing.
+func NewDragonflyMIN(d *topology.Dragonfly) *DragonflyUGAL {
+	return &DragonflyUGAL{topo: d, minimalOnly: true}
+}
+
+// NewDragonflyVAL returns Valiant Dragonfly routing (random intermediate
+// group).
+func NewDragonflyVAL(d *topology.Dragonfly) *DragonflyUGAL {
+	return &DragonflyUGAL{topo: d, valiantOnly: true}
+}
+
+// Name implements route.Algorithm.
+func (a *DragonflyUGAL) Name() string {
+	switch {
+	case a.valiantOnly:
+		return "DF-VAL"
+	case a.minimalOnly:
+		return "DF-MIN"
+	default:
+		return "DF-UGAL"
+	}
+}
+
+// NumClasses implements route.Algorithm: five distance classes cover the
+// longest (Valiant) path l-g-l-g-l.
+func (a *DragonflyUGAL) NumClasses() int { return 5 }
+
+// Meta implements route.Algorithm.
+func (a *DragonflyUGAL) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   false,
+		Style:        "source",
+		VCsRequired:  "5",
+		Deadlock:     "distance classes",
+		ArchRequires: "none",
+		PktContents:  "int. group",
+	}
+}
+
+// Route implements route.Algorithm. Phase 0 is the walk to the
+// intermediate group (Valiant only), phase 1 the minimal walk to the
+// destination. p.Inter stores the intermediate group.
+func (a *DragonflyUGAL) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	d := a.topo
+	r, dst := ctx.Router, p.DstRouter
+
+	if p.Hops == 0 && p.Phase == 0 && p.Inter < 0 {
+		cands := ctx.Cands[:0]
+		if !a.valiantOnly {
+			if c, ok := a.minStep(ctx, p, dst, 1, true, -1); ok {
+				cands = append(cands, c)
+			}
+		}
+		if !a.minimalOnly {
+			gi := ctx.RNG.Intn(d.G)
+			if gi != d.Group(r) && gi != d.Group(dst) {
+				if c, ok := a.valStep(ctx, p, gi); ok {
+					cands = append(cands, c)
+				}
+			} else if a.valiantOnly {
+				// Degenerate draw: go minimally this time.
+				if c, ok := a.minStep(ctx, p, dst, 1, true, -1); ok {
+					cands = append(cands, c)
+				}
+			}
+		}
+		return cands
+	}
+	if p.Phase == 0 {
+		if d.Group(r) == p.Inter {
+			if c, ok := a.minStep(ctx, p, dst, 1, true, -1); ok {
+				return append(ctx.Cands[:0], c)
+			}
+			return ctx.Cands[:0]
+		}
+		if c, ok := a.valStep(ctx, p, p.Inter); ok {
+			return append(ctx.Cands[:0], c)
+		}
+		return ctx.Cands[:0]
+	}
+	if c, ok := a.minStep(ctx, p, dst, 1, false, 0); ok {
+		return append(ctx.Cands[:0], c)
+	}
+	return ctx.Cands[:0]
+}
+
+// minStep builds the next minimal hop toward target router.
+func (a *DragonflyUGAL) minStep(ctx *route.Ctx, p *route.Packet, target int, phase int8, setInter bool, inter int32) (route.Candidate, bool) {
+	d := a.topo
+	r := ctx.Router
+	if r == target {
+		return route.Candidate{}, false
+	}
+	c := route.Candidate{
+		Class:    p.Hops, // distance class = hop index
+		HopsLeft: int8(d.MinHops(r, target)),
+		NewPhase: phase,
+		SetInter: setInter,
+		Inter:    inter,
+	}
+	if d.Group(r) == d.Group(target) {
+		c.Port = d.LocalPort(r, d.LocalIndex(target))
+		return c, true
+	}
+	gw, gp := d.GlobalPortTo(d.Group(r), d.Group(target))
+	if r == gw {
+		c.Port = gp
+	} else {
+		c.Port = d.LocalPort(r, d.LocalIndex(gw))
+	}
+	return c, true
+}
+
+// valStep builds the next hop toward intermediate group gi (phase 0).
+func (a *DragonflyUGAL) valStep(ctx *route.Ctx, p *route.Packet, gi int) (route.Candidate, bool) {
+	d := a.topo
+	r := ctx.Router
+	g := d.Group(r)
+	if g == gi {
+		return route.Candidate{}, false
+	}
+	gw, gp := d.GlobalPortTo(g, gi)
+	arrival, _ := d.GlobalPortTo(gi, g)
+	hops := int8(1 + d.MinHops(arrival, p.DstRouter))
+	c := route.Candidate{
+		Class:    p.Hops,
+		Deroute:  true,
+		NewPhase: 0,
+		SetInter: true,
+		Inter:    int32(gi),
+	}
+	if r == gw {
+		c.Port = gp
+		c.HopsLeft = hops
+	} else {
+		c.Port = d.LocalPort(r, d.LocalIndex(gw))
+		c.HopsLeft = hops + 1
+	}
+	return c, true
+}

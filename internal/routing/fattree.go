@@ -1,0 +1,68 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// FatTreeAdaptive is adaptive nearest-common-ancestor routing on the
+// 3-level folded Clos: on the way up, every port reaching a common
+// ancestor of source and destination is a candidate and the
+// least-congested wins; the way down is deterministic. Up*/down* ordering
+// makes it deadlock free with a single resource class.
+type FatTreeAdaptive struct {
+	topo *topology.FatTree
+}
+
+// NewFatTreeAdaptive returns the adaptive Clos routing for a fat tree.
+func NewFatTreeAdaptive(f *topology.FatTree) *FatTreeAdaptive {
+	return &FatTreeAdaptive{topo: f}
+}
+
+// Name implements route.Algorithm.
+func (a *FatTreeAdaptive) Name() string { return "Clos-Adaptive" }
+
+// NumClasses implements route.Algorithm.
+func (a *FatTreeAdaptive) NumClasses() int { return 1 }
+
+// Meta implements route.Algorithm.
+func (a *FatTreeAdaptive) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   false,
+		Style:        "incremental",
+		VCsRequired:  "1",
+		Deadlock:     "up*/down* restricted routes",
+		ArchRequires: "none",
+		PktContents:  "none",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *FatTreeAdaptive) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	f := a.topo
+	r, dst := ctx.Router, p.DstRouter // dst is always an edge switch
+	half := f.K / 2
+	cands := ctx.Cands[:0]
+	switch f.Level(r) {
+	case 0: // edge, not destination: all up ports are candidates
+		hops := int8(2)
+		if f.Pod(r) != f.Pod(dst) {
+			hops = 4
+		}
+		for p := half; p < f.K; p++ {
+			cands = append(cands, route.Candidate{Port: p, Class: 0, HopsLeft: hops})
+		}
+	case 1: // aggregation
+		if f.Pod(r) == f.Pod(dst) {
+			// Deterministic down to the destination edge.
+			cands = append(cands, route.Candidate{Port: dst % half, Class: 0, HopsLeft: 1})
+		} else {
+			for p := half; p < f.K; p++ {
+				cands = append(cands, route.Candidate{Port: p, Class: 0, HopsLeft: 3})
+			}
+		}
+	default: // core: deterministic down to the destination pod
+		cands = append(cands, route.Candidate{Port: f.Pod(dst), Class: 0, HopsLeft: 2})
+	}
+	return cands
+}

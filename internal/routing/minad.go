@@ -1,0 +1,58 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// MinAD is minimal adaptive routing on HyperX: at every hop choose the
+// least-congested output among the minimal ports of all unaligned
+// dimensions. Distance classes (one per dimension) make it deadlock free.
+// Like all minimal algorithms it cannot load-balance adversarial traffic
+// (Section 2.2) — included as an ablation baseline.
+type MinAD struct {
+	topo *topology.HyperX
+}
+
+// NewMinAD returns a MinAD instance for the given HyperX.
+func NewMinAD(h *topology.HyperX) *MinAD { return &MinAD{topo: h} }
+
+// Name implements route.Algorithm.
+func (a *MinAD) Name() string { return "MinAD" }
+
+// NumClasses implements route.Algorithm: one distance class per dimension.
+func (a *MinAD) NumClasses() int { return a.topo.NumDims() }
+
+// Meta implements route.Algorithm.
+func (a *MinAD) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   false,
+		Style:        "incremental",
+		VCsRequired:  "N",
+		Deadlock:     "distance classes",
+		ArchRequires: "none",
+		PktContents:  "none",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *MinAD) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+	minRem := int8(h.MinHops(r, dst))
+	cands := ctx.Cands[:0]
+	for d := range h.Widths {
+		own := h.CoordDigit(r, d)
+		dstV := h.CoordDigit(dst, d)
+		if own == dstV {
+			continue
+		}
+		cands = append(cands, route.Candidate{
+			Port:     h.DimPort(r, d, dstV),
+			Class:    p.Hops, // distance class = hop index
+			HopsLeft: minRem,
+			Dim:      int8(d),
+		})
+	}
+	return cands
+}

@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// UGAL is Universal Global Adaptive Load-balancing (Singh '05) on HyperX:
+// a source-adaptive algorithm. At the source router it weighs the minimal
+// dimension-order path against a Valiant path through one random
+// intermediate router, using only local congestion, and commits to the
+// winner for the packet's entire lifetime. Minimal packets ride resource
+// class 1 (the second DOR phase); Valiant packets ride class 0 to the
+// intermediate and class 1 afterward.
+type UGAL struct {
+	topo *topology.HyperX
+}
+
+// NewUGAL returns a UGAL instance for the given HyperX.
+func NewUGAL(h *topology.HyperX) *UGAL { return &UGAL{topo: h} }
+
+// Name implements route.Algorithm.
+func (a *UGAL) Name() string { return "UGAL" }
+
+// NumClasses implements route.Algorithm.
+func (a *UGAL) NumClasses() int { return 2 }
+
+// Meta implements route.Algorithm.
+func (a *UGAL) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   true,
+		Style:        "source",
+		VCsRequired:  "2",
+		Deadlock:     "restricted routes + resource classes",
+		ArchRequires: "none",
+		PktContents:  "int. addr.",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *UGAL) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+
+	if p.Hops == 0 && p.Phase == 0 && p.Inter < 0 {
+		// Source router: offer the minimal first hop and one random
+		// Valiant first hop; the weighted selection (congestion x
+		// hopcount) picks between them, which is exactly UGAL.
+		cands := dorStep(h, ctx, p, dst, 1, true, -1)
+		inter := ctx.RNG.Intn(h.NumRouters())
+		if inter != r && inter != dst {
+			d := h.FirstUnalignedDim(r, inter)
+			hops := int8(h.MinHops(r, inter) + h.MinHops(inter, dst))
+			cands = append(cands, route.Candidate{
+				Port:     h.DimPort(r, d, h.CoordDigit(inter, d)),
+				Class:    0,
+				HopsLeft: hops,
+				Deroute:  true,
+				Dim:      int8(d),
+				NewPhase: 0,
+				SetInter: true,
+				Inter:    int32(inter),
+			})
+		}
+		return cands
+	}
+	if p.Phase == 0 {
+		if r == p.Inter {
+			return dorStep(h, ctx, p, dst, 1, true, -1)
+		}
+		return dorStep(h, ctx, p, p.Inter, 0, false, 0)
+	}
+	return dorStep(h, ctx, p, dst, 1, false, 0)
+}

@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"hyperx/internal/route"
+	"hyperx/internal/topology"
+)
+
+// VAL is Valiant's randomized routing on HyperX: every packet is first
+// dimension-order routed to a uniformly random intermediate router (phase
+// 0, resource class 0), then dimension-order routed to its destination
+// (phase 1, resource class 1). It perfectly load-balances any admissible
+// traffic at the cost of 2x bandwidth and latency.
+type VAL struct {
+	topo *topology.HyperX
+}
+
+// NewVAL returns a VAL instance for the given HyperX.
+func NewVAL(h *topology.HyperX) *VAL { return &VAL{topo: h} }
+
+// Name implements route.Algorithm.
+func (a *VAL) Name() string { return "VAL" }
+
+// NumClasses implements route.Algorithm.
+func (a *VAL) NumClasses() int { return 2 }
+
+// Meta implements route.Algorithm.
+func (a *VAL) Meta() route.Meta {
+	return route.Meta{
+		DimOrdered:   true,
+		Style:        "oblivious",
+		VCsRequired:  "2",
+		Deadlock:     "restricted routes + resource classes",
+		ArchRequires: "none",
+		PktContents:  "int. addr.",
+	}
+}
+
+// Route implements route.Algorithm.
+func (a *VAL) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
+	h := a.topo
+	r, dst := ctx.Router, p.DstRouter
+
+	if p.Hops == 0 && p.Phase == 0 && p.Inter < 0 {
+		// Source router: draw the intermediate. Not committed until the
+		// packet actually wins allocation, so redraws on retry are harmless.
+		inter := ctx.RNG.Intn(h.NumRouters())
+		if inter == r || inter == dst {
+			return dorStep(h, ctx, p, dst, 1, true, -1) // degenerate: go direct on phase 1
+		}
+		return dorStep(h, ctx, p, inter, 0, true, int32(inter))
+	}
+	if p.Phase == 0 {
+		if r == p.Inter {
+			return dorStep(h, ctx, p, dst, 1, true, -1)
+		}
+		return dorStep(h, ctx, p, p.Inter, 0, false, 0)
+	}
+	return dorStep(h, ctx, p, dst, 1, false, 0)
+}
+
+// dorStep appends the single dimension-order hop toward target, tagged
+// with the given phase/class, to ctx.Cands. The resource class equals the
+// phase: phase-0 hops ride class 0, phase-1 hops class 1.
+func dorStep(h *topology.HyperX, ctx *route.Ctx, p *route.Packet, target int, phase int8, setInter bool, inter int32) []route.Candidate {
+	d := h.FirstUnalignedDim(ctx.Router, target)
+	if d < 0 {
+		// Already at the target of this phase (can only be the intermediate
+		// equal to current router before the phase flip); emit nothing.
+		return ctx.Cands[:0]
+	}
+	hops := int8(h.MinHops(ctx.Router, target))
+	if target != p.DstRouter {
+		hops += int8(h.MinHops(target, p.DstRouter))
+	}
+	return append(ctx.Cands[:0], route.Candidate{
+		Port:     h.DimPort(ctx.Router, d, h.CoordDigit(target, d)),
+		Class:    phase,
+		HopsLeft: hops,
+		Dim:      int8(d),
+		NewPhase: phase,
+		SetInter: setInter,
+		Inter:    inter,
+	})
+}

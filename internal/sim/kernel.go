@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a time-ordered queue of events. Events scheduled for
+// the same time execute in the order they were scheduled (FIFO within a
+// timestamp), which makes simulations fully deterministic for a fixed seed.
+// Time is measured in cycles; the network model defines 1 cycle = 1 ns.
+package sim
+
+import "container/heap"
+
+// Time is the simulation clock value in cycles (1 cycle = 1 ns in the
+// network model built on top of this kernel).
+type Time int64
+
+// Event is a unit of scheduled work.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nexec  uint64
+	free   []*Event // recycled events to reduce allocation churn
+	Halted bool     // set by Halt; Run returns at the next event boundary
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the total number of events executed so far. Useful for
+// progress assertions in deadlock tests.
+func (k *Kernel) Executed() uint64 { return k.nexec }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug. The returned handle may be passed to
+// Cancel.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
+	e.dead = false
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// has already run or was already cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.dead || e.idx < 0 {
+		return
+	}
+	e.dead = true
+}
+
+// Halt requests that Run return before executing the next event.
+func (k *Kernel) Halt() { k.Halted = true }
+
+// Step executes the next pending event. It returns false when the queue is
+// empty.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.dead {
+			e.fn = nil
+			k.free = append(k.free, e)
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.free = append(k.free, e)
+		k.nexec++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, the clock passes until
+// (when until > 0), or Halt is called. It returns the time of the last
+// executed event.
+func (k *Kernel) Run(until Time) Time {
+	k.Halted = false
+	for !k.Halted {
+		if until > 0 && k.queue.Len() > 0 && k.queue[0].at > until {
+			k.now = until
+			break
+		}
+		if !k.Step() {
+			break
+		}
+	}
+	return k.now
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

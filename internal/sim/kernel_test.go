@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", k.Now())
+	}
+}
+
+// TestKernelFIFOWithinTimestamp: events at the same time run in schedule
+// order (determinism requirement).
+func TestKernelFIFOWithinTimestamp(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events reordered: %v at %d", v, i)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 10 {
+			k.After(7, step)
+		}
+	}
+	k.At(0, step)
+	k.Run(0)
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if k.Now() != 63 {
+		t.Fatalf("Now() = %d, want 63", k.Now())
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	e := k.At(10, func() { ran = true })
+	k.Cancel(e)
+	k.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	k.Cancel(e)
+	e2 := k.At(20, func() {})
+	k.Run(0)
+	k.Cancel(e2)
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run(10)
+	if len(got) != 1 || k.Now() != 10 {
+		t.Fatalf("after Run(10): got=%v now=%d", got, k.Now())
+	}
+	k.Run(0)
+	if len(got) != 3 {
+		t.Fatalf("remaining events not run: %v", got)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {})
+	k.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestKernelHalt(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n == 5 {
+			k.Halt()
+		}
+		k.After(1, reschedule)
+	}
+	k.At(0, reschedule)
+	k.Run(0)
+	if n != 5 {
+		t.Fatalf("halted after %d events, want 5", n)
+	}
+}
+
+// TestKernelHeapProperty: random schedules always execute in
+// nondecreasing time order.
+func TestKernelHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		k := NewKernel()
+		var seen []Time
+		for _, at := range times {
+			at := Time(at)
+			k.At(at, func() { seen = append(seen, at) })
+		}
+		k.Run(0)
+		if len(seen) != len(times) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelExecutedAndPending(t *testing.T) {
+	k := NewKernel()
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Run(0)
+	if k.Executed() != 2 || k.Pending() != 0 {
+		t.Fatalf("executed=%d pending=%d", k.Executed(), k.Pending())
+	}
+}

@@ -1,0 +1,135 @@
+// Package stats implements the paper's steady-state measurement
+// methodology (Section 6.1): warm the network up, sample the latency of
+// every packet born inside a measurement window while injection
+// continues, measure accepted throughput over the same window, and detect
+// saturation as unbounded latency growth.
+package stats
+
+import (
+	"sort"
+
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+// Collector accumulates per-packet latencies and windowed flit counts.
+// Attach Collector.OnDeliver to Network.OnDeliver and call CountBirth from
+// the generator's OnBirth hook.
+type Collector struct {
+	Start, End sim.Time // measurement window
+
+	born      int
+	delivered int
+
+	lat       []int64 // latency of each measured packet, birth -> delivery
+	firstSum  int64   // latency sum, packets born in the first half
+	firstN    int
+	secondSum int64
+	secondN   int
+
+	windowFlits int64 // flits delivered with delivery time inside the window
+}
+
+// NewCollector builds a collector for the window [start, end).
+func NewCollector(start, end sim.Time) *Collector {
+	return &Collector{Start: start, End: end, lat: make([]int64, 0, 1<<16)}
+}
+
+// CountBirth registers a packet creation at time at.
+func (c *Collector) CountBirth(at sim.Time) {
+	if at >= c.Start && at < c.End {
+		c.born++
+	}
+}
+
+// OnDeliver observes a delivered packet; signature matches
+// network.Network.OnDeliver.
+func (c *Collector) OnDeliver(p *route.Packet, at sim.Time) {
+	if at >= c.Start && at < c.End {
+		c.windowFlits += int64(p.Len)
+	}
+	if p.Birth < c.Start || p.Birth >= c.End {
+		return
+	}
+	c.delivered++
+	l := int64(at - p.Birth)
+	c.lat = append(c.lat, l)
+	mid := c.Start + (c.End-c.Start)/2
+	if p.Birth < mid {
+		c.firstSum += l
+		c.firstN++
+	} else {
+		c.secondSum += l
+		c.secondN++
+	}
+}
+
+// Done reports whether every measured packet has been delivered.
+func (c *Collector) Done() bool { return c.born > 0 && c.delivered >= c.born }
+
+// Born returns the number of packets born in the window.
+func (c *Collector) Born() int { return c.born }
+
+// Delivered returns the number of measured packets delivered so far.
+func (c *Collector) Delivered() int { return c.delivered }
+
+// Result summarizes one steady-state measurement.
+type Result struct {
+	Samples  int
+	Mean     float64
+	P50      float64
+	P99      float64
+	Max      int64
+	Accepted float64 // flits/cycle/terminal with delivery inside the window
+
+	// HalfMeans are the mean latencies of packets born in the first and
+	// second halves of the window — the saturation growth signal.
+	HalfMeans [2]float64
+
+	Saturated bool
+}
+
+// Summarize computes the result. terminals scales accepted throughput;
+// latencyCap (cycles) declares saturation outright when exceeded by the
+// mean, and growth between window halves beyond 50% (plus slack) does
+// the same: a stable network's latency does not trend inside the window.
+func (c *Collector) Summarize(terminals int, latencyCap float64) Result {
+	r := Result{Samples: len(c.lat)}
+	window := float64(c.End - c.Start)
+	r.Accepted = float64(c.windowFlits) / (window * float64(terminals))
+	if len(c.lat) == 0 {
+		// Deep saturation: no packet born in the window was delivered
+		// before measurement ended. Accepted throughput is still valid.
+		r.Saturated = true
+		return r
+	}
+	var sum int64
+	for _, l := range c.lat {
+		sum += l
+		if l > r.Max {
+			r.Max = l
+		}
+	}
+	r.Mean = float64(sum) / float64(len(c.lat))
+	sorted := append([]int64(nil), c.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	r.P50 = float64(sorted[len(sorted)*50/100])
+	r.P99 = float64(sorted[len(sorted)*99/100])
+	if c.firstN > 0 {
+		r.HalfMeans[0] = float64(c.firstSum) / float64(c.firstN)
+	}
+	if c.secondN > 0 {
+		r.HalfMeans[1] = float64(c.secondSum) / float64(c.secondN)
+	}
+	undelivered := c.born - c.delivered
+	switch {
+	case r.Mean > latencyCap:
+		r.Saturated = true
+	case undelivered > c.born/100:
+		r.Saturated = true // could not drain the measured packets
+	case c.firstN > 50 && c.secondN > 50 &&
+		r.HalfMeans[1] > 1.5*r.HalfMeans[0]+100:
+		r.Saturated = true // latency grows within the window
+	}
+	return r
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"testing"
+
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+func TestCollectorWindowing(t *testing.T) {
+	c := NewCollector(100, 200)
+	// Born before the window: latency not sampled even if delivered in it.
+	c.OnDeliver(&route.Packet{Birth: 50, Len: 4}, 150)
+	// Born inside, delivered after the window end: sampled for latency,
+	// not for windowed throughput.
+	c.CountBirth(150)
+	c.OnDeliver(&route.Packet{Birth: 150, Len: 4}, 250)
+	// Born and delivered inside.
+	c.CountBirth(120)
+	c.OnDeliver(&route.Packet{Birth: 120, Len: 8}, 180)
+
+	if c.Born() != 2 || c.Delivered() != 2 {
+		t.Fatalf("born=%d delivered=%d", c.Born(), c.Delivered())
+	}
+	r := c.Summarize(1, 1e9)
+	if r.Samples != 2 {
+		t.Fatalf("samples=%d", r.Samples)
+	}
+	// Window flits: 4 (early-born packet) + 8 = 12 over 100 cycles.
+	if r.Accepted != 0.12 {
+		t.Fatalf("accepted=%v, want 0.12", r.Accepted)
+	}
+	// Latencies 100 and 60.
+	if r.Mean != 80 {
+		t.Fatalf("mean=%v", r.Mean)
+	}
+	if r.Max != 100 {
+		t.Fatalf("max=%v", r.Max)
+	}
+}
+
+func TestCollectorDone(t *testing.T) {
+	c := NewCollector(0, 100)
+	if c.Done() {
+		t.Fatal("empty collector reports done")
+	}
+	c.CountBirth(10)
+	if c.Done() {
+		t.Fatal("done with undelivered packet")
+	}
+	c.OnDeliver(&route.Packet{Birth: 10, Len: 1}, 500)
+	if !c.Done() {
+		t.Fatal("not done after delivery")
+	}
+}
+
+func TestSaturationByLatencyCap(t *testing.T) {
+	c := NewCollector(0, 100)
+	c.CountBirth(10)
+	c.OnDeliver(&route.Packet{Birth: 10, Len: 1}, 50_000)
+	r := c.Summarize(1, 20_000)
+	if !r.Saturated {
+		t.Error("latency cap exceeded but not saturated")
+	}
+}
+
+func TestSaturationByGrowth(t *testing.T) {
+	c := NewCollector(0, 1000)
+	// 60 packets in each half; second half 6x the latency of the first.
+	for i := 0; i < 60; i++ {
+		b := sim.Time(i * 8)
+		c.CountBirth(b)
+		c.OnDeliver(&route.Packet{Birth: b, Len: 1}, b+100)
+	}
+	for i := 0; i < 60; i++ {
+		b := sim.Time(500 + i*8)
+		c.CountBirth(b)
+		c.OnDeliver(&route.Packet{Birth: b, Len: 1}, b+600)
+	}
+	r := c.Summarize(1, 1e9)
+	if !r.Saturated {
+		t.Errorf("6x latency growth not flagged: halves %v", r.HalfMeans)
+	}
+}
+
+func TestNotSaturatedWhenStable(t *testing.T) {
+	c := NewCollector(0, 1000)
+	for i := 0; i < 200; i++ {
+		b := sim.Time(i * 5)
+		c.CountBirth(b)
+		c.OnDeliver(&route.Packet{Birth: b, Len: 2}, b+300)
+	}
+	r := c.Summarize(4, 1e6)
+	if r.Saturated {
+		t.Errorf("stable run flagged saturated: %+v", r)
+	}
+	if r.Mean != 300 || r.P50 != 300 || r.P99 != 300 {
+		t.Errorf("latency stats wrong: %+v", r)
+	}
+}
+
+func TestSaturationByUndelivered(t *testing.T) {
+	c := NewCollector(0, 1000)
+	for i := 0; i < 100; i++ {
+		c.CountBirth(sim.Time(i * 10))
+	}
+	// Only half delivered.
+	for i := 0; i < 50; i++ {
+		b := sim.Time(i * 10)
+		c.OnDeliver(&route.Packet{Birth: b, Len: 1}, b+50)
+	}
+	r := c.Summarize(1, 1e9)
+	if !r.Saturated {
+		t.Error("50% undelivered not flagged saturated")
+	}
+}
+
+// TestAcceptedSurvivesEmptyLatencies: deep saturation delivers no
+// measured-born packets, but accepted throughput must still be reported
+// (regression test for the RunThroughput zero bug).
+func TestAcceptedSurvivesEmptyLatencies(t *testing.T) {
+	c := NewCollector(100, 200)
+	c.CountBirth(150)
+	c.OnDeliver(&route.Packet{Birth: 10, Len: 50}, 150) // old traffic draining
+	r := c.Summarize(1, 1e9)
+	if !r.Saturated {
+		t.Error("no measured deliveries should flag saturation")
+	}
+	if r.Accepted != 0.5 {
+		t.Errorf("accepted=%v, want 0.5", r.Accepted)
+	}
+}

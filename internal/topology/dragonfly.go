@@ -1,0 +1,159 @@
+package topology
+
+import "fmt"
+
+// Dragonfly is the canonical balanced dragonfly of Kim et al. (ISCA '08):
+// groups of A routers, each router with P terminals and H global links,
+// groups fully connected by global links using the absolute arrangement,
+// routers within a group fully connected by local links. This package
+// supports the maximal balanced configuration with G = A*H + 1 groups.
+//
+// Port layout per router:
+//
+//	[0, P)            terminal ports
+//	[P, P+A-1)        local ports, ordered by peer local index (own skipped)
+//	[P+A-1, P+A-1+H)  global ports
+type Dragonfly struct {
+	P, A, H int // terminals/router, routers/group, globals/router
+	G       int // number of groups = A*H + 1
+}
+
+// NewDragonfly builds the maximal balanced dragonfly for the given
+// parameters.
+func NewDragonfly(p, a, h int) (*Dragonfly, error) {
+	if p < 1 || a < 2 || h < 1 {
+		return nil, fmt.Errorf("dragonfly: invalid parameters p=%d a=%d h=%d", p, a, h)
+	}
+	return &Dragonfly{P: p, A: a, H: h, G: a*h + 1}, nil
+}
+
+// MustDragonfly is NewDragonfly that panics on error.
+func MustDragonfly(p, a, h int) *Dragonfly {
+	d, err := NewDragonfly(p, a, h)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string {
+	return fmt.Sprintf("dragonfly-p%d-a%d-h%d", d.P, d.A, d.H)
+}
+
+// NumRouters implements Topology.
+func (d *Dragonfly) NumRouters() int { return d.G * d.A }
+
+// NumTerminals implements Topology.
+func (d *Dragonfly) NumTerminals() int { return d.G * d.A * d.P }
+
+// NumPorts implements Topology.
+func (d *Dragonfly) NumPorts() int { return d.P + d.A - 1 + d.H }
+
+// Group returns the group of router r.
+func (d *Dragonfly) Group(r int) int { return r / d.A }
+
+// LocalIndex returns the index of router r within its group.
+func (d *Dragonfly) LocalIndex(r int) int { return r % d.A }
+
+// LocalPort returns the port of router r that reaches local index v within
+// the same group.
+func (d *Dragonfly) LocalPort(r, v int) int {
+	own := d.LocalIndex(r)
+	if v == own {
+		panic("dragonfly: LocalPort to self")
+	}
+	idx := v
+	if v > own {
+		idx--
+	}
+	return d.P + idx
+}
+
+// globalChannel returns the global channel index (0..A*H-1 within the
+// group) that group g uses to reach group tgt.
+func (d *Dragonfly) globalChannel(g, tgt int) int {
+	if tgt < g {
+		return tgt
+	}
+	return tgt - 1
+}
+
+// GlobalPortTo returns the router in group g owning the global link to
+// group tgt, and that router's port for it.
+func (d *Dragonfly) GlobalPortTo(g, tgt int) (router, port int) {
+	c := d.globalChannel(g, tgt)
+	return g*d.A + c/d.H, d.P + d.A - 1 + c%d.H
+}
+
+// PortKind implements Topology.
+func (d *Dragonfly) PortKind(r, p int) LinkKind {
+	switch {
+	case p < 0 || p >= d.NumPorts():
+		return Unused
+	case p < d.P:
+		return Terminal
+	case p < d.P+d.A-1:
+		return Local
+	default:
+		return Global
+	}
+}
+
+// Peer implements Topology.
+func (d *Dragonfly) Peer(r, p int) (int, int) {
+	switch d.PortKind(r, p) {
+	case Local:
+		idx := p - d.P
+		own := d.LocalIndex(r)
+		if idx >= own {
+			idx++
+		}
+		peer := d.Group(r)*d.A + idx
+		return peer, d.LocalPort(peer, own)
+	case Global:
+		g := d.Group(r)
+		c := d.LocalIndex(r)*d.H + (p - (d.P + d.A - 1))
+		tgt := c
+		if c >= g {
+			tgt = c + 1
+		}
+		return d.GlobalPortTo(tgt, g)
+	default:
+		panic("dragonfly: Peer of non-router port")
+	}
+}
+
+// PortTerminal implements Topology.
+func (d *Dragonfly) PortTerminal(r, p int) int {
+	if p < 0 || p >= d.P {
+		return -1
+	}
+	return r*d.P + p
+}
+
+// TerminalPort implements Topology.
+func (d *Dragonfly) TerminalPort(t int) (int, int) {
+	return t / d.P, t % d.P
+}
+
+// MinHops implements Topology. Minimal paths are (local), global, (local).
+func (d *Dragonfly) MinHops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	ga, gb := d.Group(a), d.Group(b)
+	if ga == gb {
+		return 1
+	}
+	src, _ := d.GlobalPortTo(ga, gb)
+	dst, _ := d.GlobalPortTo(gb, ga)
+	hops := 1
+	if src != a {
+		hops++
+	}
+	if dst != b {
+		hops++
+	}
+	return hops
+}

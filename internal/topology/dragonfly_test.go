@@ -1,0 +1,151 @@
+package topology
+
+import "testing"
+
+func TestDragonflyValidate(t *testing.T) {
+	for _, d := range []*Dragonfly{
+		MustDragonfly(1, 2, 1),
+		MustDragonfly(2, 4, 1),
+		MustDragonfly(4, 8, 2),
+		MustDragonfly(3, 6, 3),
+	} {
+		if err := Validate(d); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestDragonflyCounts(t *testing.T) {
+	d := MustDragonfly(4, 8, 2) // g = 17
+	if d.G != 17 {
+		t.Errorf("groups = %d, want 17", d.G)
+	}
+	if d.NumRouters() != 17*8 {
+		t.Errorf("routers = %d, want 136", d.NumRouters())
+	}
+	if d.NumTerminals() != 17*8*4 {
+		t.Errorf("terminals = %d, want 544", d.NumTerminals())
+	}
+	if d.NumPorts() != 4+7+2 {
+		t.Errorf("ports = %d, want 13", d.NumPorts())
+	}
+}
+
+// TestDragonflyGlobalWiring: every pair of groups is connected by exactly
+// one global link, and GlobalPortTo agrees with Peer.
+func TestDragonflyGlobalWiring(t *testing.T) {
+	d := MustDragonfly(2, 4, 2) // g = 9
+	for ga := 0; ga < d.G; ga++ {
+		for gb := 0; gb < d.G; gb++ {
+			if ga == gb {
+				continue
+			}
+			r, p := d.GlobalPortTo(ga, gb)
+			if d.Group(r) != ga {
+				t.Fatalf("gateway %d not in group %d", r, ga)
+			}
+			pr, pp := d.Peer(r, p)
+			if d.Group(pr) != gb {
+				t.Fatalf("global link from group %d lands in group %d, want %d", ga, d.Group(pr), gb)
+			}
+			// And the reverse port resolves back.
+			br, bp := d.Peer(pr, pp)
+			if br != r || bp != p {
+				t.Fatalf("global link not symmetric")
+			}
+		}
+	}
+}
+
+// TestDragonflyMinHops checks the 0/1/2/3-hop structure.
+func TestDragonflyMinHops(t *testing.T) {
+	d := MustDragonfly(2, 4, 2)
+	for a := 0; a < d.NumRouters(); a++ {
+		for b := 0; b < d.NumRouters(); b++ {
+			h := d.MinHops(a, b)
+			switch {
+			case a == b && h != 0:
+				t.Fatalf("MinHops(%d,%d)=%d, want 0", a, b, h)
+			case a != b && d.Group(a) == d.Group(b) && h != 1:
+				t.Fatalf("same group MinHops(%d,%d)=%d, want 1", a, b, h)
+			case d.Group(a) != d.Group(b) && (h < 1 || h > 3):
+				t.Fatalf("cross group MinHops(%d,%d)=%d, want 1..3", a, b, h)
+			}
+			if h != d.MinHops(b, a) {
+				t.Fatalf("MinHops not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestFatTreeValidate(t *testing.T) {
+	for _, k := range []int{4, 6, 8, 16} {
+		f := MustFatTree(k)
+		if err := Validate(f); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	f := MustFatTree(8)
+	if f.NumTerminals() != 128 {
+		t.Errorf("terminals = %d, want k^3/4 = 128", f.NumTerminals())
+	}
+	if f.NumRouters() != 32+32+16 {
+		t.Errorf("routers = %d, want 80", f.NumRouters())
+	}
+}
+
+// TestFatTreeReachability: from every edge switch, going up any port then
+// down reaches every terminal in at most 4 hops (diameter of a 3-level
+// Clos between edge switches).
+func TestFatTreeUpDownStructure(t *testing.T) {
+	f := MustFatTree(4)
+	for r := 0; r < f.NumRouters(); r++ {
+		lvl := f.Level(r)
+		for p := 0; p < f.NumPorts(); p++ {
+			switch f.PortKind(r, p) {
+			case Terminal:
+				if lvl != 0 {
+					t.Fatalf("terminal port on non-edge router %d", r)
+				}
+			case Local:
+				pr, _ := f.Peer(r, p)
+				lp := f.Level(pr)
+				if !(lvl == 0 && lp == 1 || lvl == 1 && lp == 0) {
+					t.Fatalf("Local link between levels %d-%d", lvl, lp)
+				}
+				if f.Pod(r) != f.Pod(pr) {
+					t.Fatalf("edge-agg link crosses pods")
+				}
+			case Global:
+				pr, _ := f.Peer(r, p)
+				lp := f.Level(pr)
+				if !(lvl == 1 && lp == 2 || lvl == 2 && lp == 1) {
+					t.Fatalf("Global link between levels %d-%d", lvl, lp)
+				}
+			}
+		}
+	}
+}
+
+// TestFatTreeNewErrors rejects odd or tiny radix.
+func TestFatTreeNewErrors(t *testing.T) {
+	if _, err := NewFatTree(5); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := NewFatTree(2); err == nil {
+		t.Error("radix 2 accepted")
+	}
+}
+
+// TestDragonflyNewErrors rejects degenerate parameters.
+func TestDragonflyNewErrors(t *testing.T) {
+	if _, err := NewDragonfly(0, 4, 2); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewDragonfly(2, 1, 2); err == nil {
+		t.Error("a=1 accepted")
+	}
+}

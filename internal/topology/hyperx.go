@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HyperX is the generalized flat integer-lattice topology of Ahn et al.
+// (SC '09): L dimensions, each fully connected, with Widths[d] routers per
+// dimension and Terms terminals attached to every router.
+//
+// Router coordinates are mixed-radix numbers over Widths; router IDs place
+// dimension 0 as the fastest-varying digit. Port layout per router:
+//
+//	[0, Terms)                          terminal ports
+//	[Terms+off(d), Terms+off(d)+W_d-1)  dimension-d ports, ordered by the
+//	                                    peer's coordinate in d (own skipped)
+//
+// where off(d) = sum of (W_e - 1) for e < d.
+type HyperX struct {
+	Widths []int // routers per dimension (W_d >= 2)
+	Terms  int   // terminals per router (t >= 1)
+
+	dimOff  []int // port offset of each dimension's port block
+	nr      int   // number of routers
+	radix   int   // ports per router
+	strides []int // mixed-radix strides for coordinate <-> id
+}
+
+// NewHyperX builds a HyperX with the given per-dimension widths and
+// terminals per router.
+func NewHyperX(widths []int, terms int) (*HyperX, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("hyperx: need at least one dimension")
+	}
+	if terms < 1 {
+		return nil, fmt.Errorf("hyperx: terminals per router must be >= 1, got %d", terms)
+	}
+	h := &HyperX{Widths: append([]int(nil), widths...), Terms: terms}
+	h.nr = 1
+	h.radix = terms
+	h.dimOff = make([]int, len(widths))
+	h.strides = make([]int, len(widths))
+	off := terms
+	for d, w := range widths {
+		if w < 2 {
+			return nil, fmt.Errorf("hyperx: dimension %d width must be >= 2, got %d", d, w)
+		}
+		h.dimOff[d] = off
+		h.strides[d] = h.nr
+		off += w - 1
+		h.radix += w - 1
+		h.nr *= w
+	}
+	return h, nil
+}
+
+// MustHyperX is NewHyperX that panics on configuration error; intended for
+// tests and examples with constant parameters.
+func MustHyperX(widths []int, terms int) *HyperX {
+	h, err := NewHyperX(widths, terms)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name implements Topology.
+func (h *HyperX) Name() string {
+	parts := make([]string, len(h.Widths))
+	for i, w := range h.Widths {
+		parts[i] = fmt.Sprint(w)
+	}
+	return fmt.Sprintf("hyperx-%s-t%d", strings.Join(parts, "x"), h.Terms)
+}
+
+// NumDims returns the number of dimensions.
+func (h *HyperX) NumDims() int { return len(h.Widths) }
+
+// NumRouters implements Topology.
+func (h *HyperX) NumRouters() int { return h.nr }
+
+// NumTerminals implements Topology.
+func (h *HyperX) NumTerminals() int { return h.nr * h.Terms }
+
+// NumPorts implements Topology.
+func (h *HyperX) NumPorts() int { return h.radix }
+
+// Coord writes the mixed-radix coordinate of router r into out (length
+// NumDims) and returns it. Passing a caller-owned slice avoids allocation
+// in routing hot paths.
+func (h *HyperX) Coord(r int, out []int) []int {
+	for d, w := range h.Widths {
+		out[d] = r % w
+		r /= w
+	}
+	return out
+}
+
+// CoordDigit returns coordinate digit d of router r without materializing
+// the full coordinate.
+func (h *HyperX) CoordDigit(r, d int) int {
+	return (r / h.strides[d]) % h.Widths[d]
+}
+
+// RouterAt returns the router ID at the given coordinate.
+func (h *HyperX) RouterAt(coord []int) int {
+	r := 0
+	for d := len(coord) - 1; d >= 0; d-- {
+		r = r*h.Widths[d] + coord[d]
+	}
+	return r
+}
+
+// WithDigit returns the router obtained from r by replacing coordinate
+// digit d with v.
+func (h *HyperX) WithDigit(r, d, v int) int {
+	cur := h.CoordDigit(r, d)
+	return r + (v-cur)*h.strides[d]
+}
+
+// DimPort returns the output port of router r that reaches coordinate
+// value v in dimension d. It panics if v equals r's own coordinate.
+func (h *HyperX) DimPort(r, d, v int) int {
+	own := h.CoordDigit(r, d)
+	if v == own {
+		panic("hyperx: DimPort to own coordinate")
+	}
+	idx := v
+	if v > own {
+		idx--
+	}
+	return h.dimOff[d] + idx
+}
+
+// PortDim decodes a router-link port into its dimension and the peer's
+// coordinate value in that dimension. It returns (-1, -1) for terminal
+// ports.
+func (h *HyperX) PortDim(r, p int) (dim, peerVal int) {
+	if p < h.Terms {
+		return -1, -1
+	}
+	for d := len(h.Widths) - 1; d >= 0; d-- {
+		if p >= h.dimOff[d] {
+			idx := p - h.dimOff[d]
+			own := h.CoordDigit(r, d)
+			if idx >= own {
+				idx++
+			}
+			return d, idx
+		}
+	}
+	return -1, -1
+}
+
+// PortKind implements Topology.
+func (h *HyperX) PortKind(r, p int) LinkKind {
+	switch {
+	case p < 0 || p >= h.radix:
+		return Unused
+	case p < h.Terms:
+		return Terminal
+	default:
+		// Dimension 0 is packaged closest (in-cabinet); call it Local and
+		// all higher dimensions Global. Routing does not depend on this;
+		// the cost model and channel latencies may.
+		if d, _ := h.PortDim(r, p); d == 0 {
+			return Local
+		}
+		return Global
+	}
+}
+
+// Peer implements Topology.
+func (h *HyperX) Peer(r, p int) (int, int) {
+	d, v := h.PortDim(r, p)
+	if d < 0 {
+		panic("hyperx: Peer of non-router port")
+	}
+	peer := h.WithDigit(r, d, v)
+	return peer, h.DimPort(peer, d, h.CoordDigit(r, d))
+}
+
+// PortTerminal implements Topology.
+func (h *HyperX) PortTerminal(r, p int) int {
+	if p < 0 || p >= h.Terms {
+		return -1
+	}
+	return r*h.Terms + p
+}
+
+// TerminalPort implements Topology.
+func (h *HyperX) TerminalPort(t int) (int, int) {
+	return t / h.Terms, t % h.Terms
+}
+
+// MinHops implements Topology: the number of differing coordinate digits,
+// since every dimension is fully connected.
+func (h *HyperX) MinHops(a, b int) int {
+	hops := 0
+	for d, w := range h.Widths {
+		sa := (a / h.strides[d]) % w
+		sb := (b / h.strides[d]) % w
+		if sa != sb {
+			hops++
+		}
+	}
+	return hops
+}
+
+// UnalignedDims appends to buf the dimensions in which routers a and b
+// differ, in ascending order, and returns the result.
+func (h *HyperX) UnalignedDims(a, b int, buf []int) []int {
+	for d, w := range h.Widths {
+		sa := (a / h.strides[d]) % w
+		sb := (b / h.strides[d]) % w
+		if sa != sb {
+			buf = append(buf, d)
+		}
+	}
+	return buf
+}
+
+// FirstUnalignedDim returns the lowest dimension in which a and b differ,
+// or -1 if a == b. Dimension-ordered algorithms traverse dimensions in
+// ascending order.
+func (h *HyperX) FirstUnalignedDim(a, b int) int {
+	for d, w := range h.Widths {
+		if (a/h.strides[d])%w != (b/h.strides[d])%w {
+			return d
+		}
+	}
+	return -1
+}

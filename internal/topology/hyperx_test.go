@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperXValidate(t *testing.T) {
+	for _, h := range []*HyperX{
+		MustHyperX([]int{4}, 2),
+		MustHyperX([]int{2, 2}, 1),
+		MustHyperX([]int{4, 4, 4}, 4),
+		MustHyperX([]int{3, 5, 2}, 3),
+		MustHyperX([]int{8, 8, 8}, 8),
+	} {
+		if err := Validate(h); err != nil {
+			t.Errorf("%s: %v", h.Name(), err)
+		}
+	}
+}
+
+func TestHyperXCounts(t *testing.T) {
+	h := MustHyperX([]int{8, 8, 8}, 8)
+	if h.NumRouters() != 512 {
+		t.Errorf("routers = %d, want 512", h.NumRouters())
+	}
+	if h.NumTerminals() != 4096 {
+		t.Errorf("terminals = %d, want 4096 (the paper's evaluation scale)", h.NumTerminals())
+	}
+	if h.NumPorts() != 8+3*7 {
+		t.Errorf("radix = %d, want 29", h.NumPorts())
+	}
+}
+
+func TestHyperXNewErrors(t *testing.T) {
+	if _, err := NewHyperX(nil, 1); err == nil {
+		t.Error("no dims: want error")
+	}
+	if _, err := NewHyperX([]int{1, 4}, 1); err == nil {
+		t.Error("width 1: want error")
+	}
+	if _, err := NewHyperX([]int{4, 4}, 0); err == nil {
+		t.Error("0 terminals: want error")
+	}
+}
+
+// TestHyperXCoordRoundTrip: RouterAt(Coord(r)) == r for every router.
+func TestHyperXCoordRoundTrip(t *testing.T) {
+	h := MustHyperX([]int{3, 4, 5}, 2)
+	buf := make([]int, 3)
+	for r := 0; r < h.NumRouters(); r++ {
+		c := h.Coord(r, buf)
+		if got := h.RouterAt(c); got != r {
+			t.Fatalf("RouterAt(Coord(%d)) = %d", r, got)
+		}
+		for d := range c {
+			if h.CoordDigit(r, d) != c[d] {
+				t.Fatalf("CoordDigit(%d,%d) = %d, want %d", r, d, h.CoordDigit(r, d), c[d])
+			}
+		}
+	}
+}
+
+// TestHyperXDimPortRoundTrip: PortDim inverts DimPort everywhere.
+func TestHyperXDimPortRoundTrip(t *testing.T) {
+	h := MustHyperX([]int{4, 3, 2}, 3)
+	for r := 0; r < h.NumRouters(); r++ {
+		for d, w := range h.Widths {
+			own := h.CoordDigit(r, d)
+			for v := 0; v < w; v++ {
+				if v == own {
+					continue
+				}
+				p := h.DimPort(r, d, v)
+				gd, gv := h.PortDim(r, p)
+				if gd != d || gv != v {
+					t.Fatalf("PortDim(DimPort(r=%d,d=%d,v=%d)=%d) = (%d,%d)", r, d, v, p, gd, gv)
+				}
+			}
+		}
+	}
+}
+
+// TestHyperXMinHopsProperties: symmetry, triangle inequality over one
+// intermediate, and the diameter bound (number of dimensions).
+func TestHyperXMinHopsProperties(t *testing.T) {
+	h := MustHyperX([]int{4, 4, 4}, 4)
+	f := func(a, b, c uint32) bool {
+		x := int(a) % h.NumRouters()
+		y := int(b) % h.NumRouters()
+		z := int(c) % h.NumRouters()
+		hx := h.MinHops(x, y)
+		if hx != h.MinHops(y, x) {
+			return false
+		}
+		if hx > h.NumDims() {
+			return false
+		}
+		return h.MinHops(x, z) <= hx+h.MinHops(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHyperXPeerReducesDistance: moving toward the destination coordinate
+// in any unaligned dimension reduces MinHops by exactly one.
+func TestHyperXPeerReducesDistance(t *testing.T) {
+	h := MustHyperX([]int{3, 4, 5}, 1)
+	f := func(a, b uint32) bool {
+		x := int(a) % h.NumRouters()
+		y := int(b) % h.NumRouters()
+		if x == y {
+			return true
+		}
+		d := h.FirstUnalignedDim(x, y)
+		next := h.WithDigit(x, d, h.CoordDigit(y, d))
+		return h.MinHops(next, y) == h.MinHops(x, y)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHyperXUnalignedDims agrees with MinHops and FirstUnalignedDim.
+func TestHyperXUnalignedDims(t *testing.T) {
+	h := MustHyperX([]int{4, 4}, 2)
+	buf := make([]int, 0, 2)
+	for a := 0; a < h.NumRouters(); a++ {
+		for b := 0; b < h.NumRouters(); b++ {
+			dims := h.UnalignedDims(a, b, buf[:0])
+			if len(dims) != h.MinHops(a, b) {
+				t.Fatalf("UnalignedDims(%d,%d) len %d != MinHops %d", a, b, len(dims), h.MinHops(a, b))
+			}
+			if len(dims) > 0 && dims[0] != h.FirstUnalignedDim(a, b) {
+				t.Fatalf("first unaligned mismatch at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// TestHyperXTerminalMapping: terminal <-> (router, port) is a bijection.
+func TestHyperXTerminalMapping(t *testing.T) {
+	h := MustHyperX([]int{3, 3}, 4)
+	seen := make(map[[2]int]bool)
+	for term := 0; term < h.NumTerminals(); term++ {
+		r, p := h.TerminalPort(term)
+		if h.PortTerminal(r, p) != term {
+			t.Fatalf("PortTerminal(TerminalPort(%d)) mismatch", term)
+		}
+		if h.PortKind(r, p) != Terminal {
+			t.Fatalf("terminal port %d/%d not Terminal kind", r, p)
+		}
+		key := [2]int{r, p}
+		if seen[key] {
+			t.Fatalf("duplicate attachment %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestHyperXLinkCount: each dimension-d instance is a full mesh, so total
+// bidirectional links = sum over d of prod(W)/W_d * W_d(W_d-1)/2.
+func TestHyperXLinkCount(t *testing.T) {
+	h := MustHyperX([]int{4, 3, 2}, 1)
+	count := 0
+	for r := 0; r < h.NumRouters(); r++ {
+		for p := h.Terms; p < h.NumPorts(); p++ {
+			pr, _ := h.Peer(r, p)
+			if pr > r {
+				count++
+			}
+		}
+	}
+	want := 0
+	for d, w := range h.Widths {
+		_ = d
+		want += h.NumRouters() / w * w * (w - 1) / 2
+	}
+	if count != want {
+		t.Errorf("link count %d, want %d", count, want)
+	}
+}

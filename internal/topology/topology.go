@@ -1,0 +1,107 @@
+// Package topology defines the network topologies evaluated in the paper:
+// HyperX (the subject), and Dragonfly and 3-level folded-Clos fat tree
+// (comparison topologies for the motivation experiments).
+//
+// A topology is a static description: routers, ports, the wiring between
+// them, and the attachment of terminals. The network package turns a
+// topology into a live simulation; routing algorithms downcast to the
+// concrete topology type for structure-aware decisions.
+package topology
+
+// LinkKind classifies a router port.
+type LinkKind uint8
+
+const (
+	// Unused marks a port with nothing attached.
+	Unused LinkKind = iota
+	// Terminal marks a port attached to an endpoint.
+	Terminal
+	// Local marks a short router-to-router link (in-cabinet / in-group).
+	Local
+	// Global marks a long router-to-router link (between cabinets/groups).
+	Global
+)
+
+// Topology describes a static network graph.
+//
+// Ports of a router are numbered 0..NumPorts-1. Terminal ports come first
+// by convention in all implementations, but callers should rely on
+// PortKind/Peer rather than numbering conventions.
+type Topology interface {
+	// Name identifies the topology family and configuration.
+	Name() string
+	// NumRouters returns the number of routers.
+	NumRouters() int
+	// NumTerminals returns the number of attached endpoints.
+	NumTerminals() int
+	// NumPorts returns the (uniform) number of ports per router.
+	NumPorts() int
+	// PortKind reports what is attached to port p of router r.
+	PortKind(r, p int) LinkKind
+	// Peer returns the router and port on the far side of a router-to-router
+	// link. It panics if the port is not a router link.
+	Peer(r, p int) (peerRouter, peerPort int)
+	// PortTerminal returns the terminal attached to port p of router r, or
+	// -1 if the port is not a terminal port.
+	PortTerminal(r, p int) int
+	// TerminalPort returns the router and port a terminal attaches to.
+	TerminalPort(t int) (router, port int)
+	// MinHops returns the minimal number of router-to-router hops between
+	// two routers.
+	MinHops(a, b int) int
+}
+
+// Validate exhaustively checks the wiring invariants of a topology: link
+// symmetry (Peer is an involution), terminal attachment consistency, and
+// MinHops sanity at distance zero. It is used by tests and by network
+// assembly in debug builds.
+func Validate(t Topology) error {
+	for r := 0; r < t.NumRouters(); r++ {
+		for p := 0; p < t.NumPorts(); p++ {
+			switch t.PortKind(r, p) {
+			case Local, Global:
+				pr, pp := t.Peer(r, p)
+				if pr < 0 || pr >= t.NumRouters() {
+					return &WiringError{r, p, "peer router out of range"}
+				}
+				br, bp := t.Peer(pr, pp)
+				if br != r || bp != p {
+					return &WiringError{r, p, "link is not symmetric"}
+				}
+			case Terminal:
+				term := t.PortTerminal(r, p)
+				if term < 0 || term >= t.NumTerminals() {
+					return &WiringError{r, p, "terminal out of range"}
+				}
+				tr, tp := t.TerminalPort(term)
+				if tr != r || tp != p {
+					return &WiringError{r, p, "terminal attachment is not symmetric"}
+				}
+			}
+		}
+		if h := t.MinHops(r, r); h != 0 {
+			return &WiringError{r, -1, "MinHops(r,r) != 0"}
+		}
+	}
+	return nil
+}
+
+// WiringError reports a structural defect found by Validate.
+type WiringError struct {
+	Router, Port int
+	Reason       string
+}
+
+func (e *WiringError) Error() string {
+	return "topology: router " + itoa(e.Router) + " port " + itoa(e.Port) + ": " + e.Reason
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}

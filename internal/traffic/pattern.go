@@ -1,0 +1,214 @@
+// Package traffic implements the synthetic traffic patterns of Table 3
+// (UR, BC, URB, S2, DCR, plus extras), the random packet-size
+// distribution, and the open-loop injection process used for steady-state
+// measurements.
+package traffic
+
+import (
+	"fmt"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/topology"
+)
+
+// Pattern selects a destination terminal for each packet injected by a
+// source terminal.
+type Pattern interface {
+	Name() string
+	Dest(src int, rs *rng.Source) int
+}
+
+// UniformRandom (UR) draws destinations uniformly, excluding the source.
+type UniformRandom struct {
+	N int // number of terminals
+}
+
+// Name implements Pattern.
+func (u UniformRandom) Name() string { return "UR" }
+
+// Dest implements Pattern.
+func (u UniformRandom) Dest(src int, rs *rng.Source) int {
+	d := rs.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// BitComplement (BC) sends every packet to the complement terminal. For a
+// power-of-two terminal count this is the bitwise complement; in general
+// it is the index-reversal N-1-src, which is identical for powers of two.
+type BitComplement struct {
+	N int
+}
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "BC" }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src int, _ *rng.Source) int {
+	return b.N - 1 - src
+}
+
+// comp returns the complement coordinate within a dimension of width w.
+func comp(v, w int) int { return w - 1 - v }
+
+// URB is Uniform Random Bisection (Table 3): the destination router takes
+// the complement coordinate in the target dimension and uniformly random
+// coordinates in all other dimensions, leaving exactly one dimension
+// non-load-balanced. URB with Dim=1 (URBy) is the paper's headline
+// adversarial case: source-adaptive algorithms cannot see the dimension-1
+// congestion from the source router.
+type URB struct {
+	Topo *topology.HyperX
+	Dim  int
+}
+
+// Name implements Pattern.
+func (u URB) Name() string { return fmt.Sprintf("URB%c", 'x'+rune(u.Dim)) }
+
+// Dest implements Pattern.
+func (u URB) Dest(src int, rs *rng.Source) int {
+	h := u.Topo
+	srcRouter := src / h.Terms
+	dst := srcRouter
+	for d, w := range h.Widths {
+		if d == u.Dim {
+			dst = h.WithDigit(dst, d, comp(h.CoordDigit(srcRouter, d), w))
+		} else {
+			dst = h.WithDigit(dst, d, rs.Intn(w))
+		}
+	}
+	return dst*h.Terms + rs.Intn(h.Terms)
+}
+
+// Swap2 (S2, Table 3): even terminals send to the complement router in
+// the X dimension, odd terminals in the Y dimension; all other
+// coordinates are unchanged. The traffic is non-load-balanced per
+// dimension while most network bandwidth stays unused.
+type Swap2 struct {
+	Topo *topology.HyperX
+}
+
+// Name implements Pattern.
+func (s Swap2) Name() string { return "S2" }
+
+// Dest implements Pattern.
+func (s Swap2) Dest(src int, _ *rng.Source) int {
+	h := s.Topo
+	srcRouter := src / h.Terms
+	local := src % h.Terms
+	dim := src % 2 // even -> X (0), odd -> Y (1)
+	dst := h.WithDigit(srcRouter, dim, comp(h.CoordDigit(srcRouter, dim), h.Widths[dim]))
+	return dst*h.Terms + local
+}
+
+// DCR is Dimension Complement Reverse (Table 3), the worst-case
+// admissible pattern for a 3-D HyperX: each X-dimension instance (the row
+// of routers sharing (y, z)) distributes its traffic across the
+// complement Z-dimension instance — destination coordinates are
+// x' = comp(z), y' = comp(y), z' uniform. Under dimension-order routing
+// the entire row (W routers x t terminals) funnels through the single
+// Y-dimension link at (comp(z), y) -> (comp(z), comp(y)), a W*t : 1
+// oversubscription.
+type DCR struct {
+	Topo *topology.HyperX
+}
+
+// Name implements Pattern.
+func (p DCR) Name() string { return "DCR" }
+
+// Dest implements Pattern.
+func (p DCR) Dest(src int, rs *rng.Source) int {
+	h := p.Topo
+	if h.NumDims() != 3 {
+		panic("traffic: DCR requires a 3-D HyperX")
+	}
+	srcRouter := src / h.Terms
+	x := h.CoordDigit(srcRouter, 0)
+	y := h.CoordDigit(srcRouter, 1)
+	z := h.CoordDigit(srcRouter, 2)
+	_ = x
+	dst := srcRouter
+	dst = h.WithDigit(dst, 0, comp(z, h.Widths[0]))
+	dst = h.WithDigit(dst, 1, comp(y, h.Widths[1]))
+	dst = h.WithDigit(dst, 2, rs.Intn(h.Widths[2]))
+	return dst*h.Terms + rs.Intn(h.Terms)
+}
+
+// Transpose swaps the high and low halves of the terminal index — a
+// classic adversarial pattern included for extended coverage. Requires a
+// perfect-square terminal count to be meaningful; defined for any N via
+// digit swap on the router grid of a 2-or-more-D HyperX.
+type Transpose struct {
+	Topo *topology.HyperX
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "TP" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, _ *rng.Source) int {
+	h := t.Topo
+	srcRouter := src / h.Terms
+	local := src % h.Terms
+	dst := srcRouter
+	// Swap coordinates of dimension pairs (0,1), (2,3), ...
+	for d := 0; d+1 < h.NumDims(); d += 2 {
+		a := h.CoordDigit(srcRouter, d)
+		b := h.CoordDigit(srcRouter, d+1)
+		if h.Widths[d] == h.Widths[d+1] {
+			dst = h.WithDigit(dst, d, b)
+			dst = h.WithDigit(dst, d+1, a)
+		}
+	}
+	return dst*h.Terms + local
+}
+
+// Hotspot sends a configurable fraction of traffic to a single hot
+// terminal and the rest uniformly — the localized-congestion scenario of
+// Section 3.2 (a small high-bandwidth job embedded in background
+// traffic).
+type Hotspot struct {
+	N        int     // number of terminals
+	Hot      int     // the hot terminal
+	Fraction float64 // probability of targeting the hot terminal
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "HS" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, rs *rng.Source) int {
+	if src != h.Hot && rs.Float64() < h.Fraction {
+		return h.Hot
+	}
+	d := rs.Intn(h.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Tornado shifts each coordinate halfway around its dimension, the
+// classic pattern that defeats minimal routing on rings; on fully
+// connected dimensions it concentrates load on one link per dimension.
+type Tornado struct {
+	Topo *topology.HyperX
+}
+
+// Name implements Pattern.
+func (t Tornado) Name() string { return "TOR" }
+
+// Dest implements Pattern.
+func (t Tornado) Dest(src int, _ *rng.Source) int {
+	h := t.Topo
+	srcRouter := src / h.Terms
+	local := src % h.Terms
+	dst := srcRouter
+	for d, w := range h.Widths {
+		v := (h.CoordDigit(srcRouter, d) + w/2) % w
+		dst = h.WithDigit(dst, d, v)
+	}
+	return dst*h.Terms + local
+}

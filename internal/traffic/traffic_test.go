@@ -1,0 +1,222 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/topology"
+)
+
+func TestUniformRandomExcludesSelfAndCovers(t *testing.T) {
+	u := UniformRandom{N: 64}
+	rs := rng.New(1)
+	seen := make([]bool, 64)
+	for i := 0; i < 20000; i++ {
+		src := i % 64
+		d := u.Dest(src, rs)
+		if d == src {
+			t.Fatal("UR returned self")
+		}
+		if d < 0 || d >= 64 {
+			t.Fatalf("UR out of range: %d", d)
+		}
+		seen[d] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("destination %d never drawn", i)
+		}
+	}
+}
+
+// TestBitComplementInvolution: BC is its own inverse and matches the
+// bitwise complement for powers of two.
+func TestBitComplementInvolution(t *testing.T) {
+	b := BitComplement{N: 256}
+	for src := 0; src < 256; src++ {
+		d := b.Dest(src, nil)
+		if b.Dest(d, nil) != src {
+			t.Fatalf("BC not an involution at %d", src)
+		}
+		if d != (^src)&255 {
+			t.Fatalf("BC(%d) = %d, want bitwise complement %d", src, d, (^src)&255)
+		}
+	}
+}
+
+// TestURBTargetsComplementDim: the destination router complements exactly
+// the target dimension; other dims may be anything.
+func TestURBTargetsComplementDim(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 4)
+	for dim := 0; dim < 3; dim++ {
+		u := URB{Topo: h, Dim: dim}
+		rs := rng.New(7)
+		f := func(s uint32) bool {
+			src := int(s) % h.NumTerminals()
+			d := u.Dest(src, rs)
+			sr, dr := src/h.Terms, d/h.Terms
+			return h.CoordDigit(dr, dim) == h.Widths[dim]-1-h.CoordDigit(sr, dim)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("dim %d: %v", dim, err)
+		}
+	}
+}
+
+// TestURBNamesMatchPaper: URBy means BC in Y, UR elsewhere.
+func TestURBNames(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 4)
+	for dim, want := range []string{"URBx", "URBy", "URBz"} {
+		if got := (URB{Topo: h, Dim: dim}).Name(); got != want {
+			t.Errorf("URB dim %d name %q, want %q", dim, got, want)
+		}
+	}
+}
+
+// TestSwap2Structure: even terminals swap in X, odd in Y, all other
+// coordinates and the local index unchanged.
+func TestSwap2Structure(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 4)
+	s := Swap2{Topo: h}
+	for src := 0; src < h.NumTerminals(); src++ {
+		d := s.Dest(src, nil)
+		sr, dr := src/h.Terms, d/h.Terms
+		if src%h.Terms != d%h.Terms {
+			t.Fatalf("S2 changed local index at %d", src)
+		}
+		dim := src % 2
+		for e := 0; e < 3; e++ {
+			sc, dc := h.CoordDigit(sr, e), h.CoordDigit(dr, e)
+			if e == dim {
+				if dc != h.Widths[e]-1-sc {
+					t.Fatalf("S2 src %d: dim %d not complemented", src, e)
+				}
+			} else if sc != dc {
+				t.Fatalf("S2 src %d: dim %d changed", src, e)
+			}
+		}
+	}
+}
+
+// TestDCRStructure: x' = comp(z), y' = comp(y), z' free; never self.
+func TestDCRStructure(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 4)
+	p := DCR{Topo: h}
+	rs := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		src := i % h.NumTerminals()
+		d := p.Dest(src, rs)
+		sr, dr := src/h.Terms, d/h.Terms
+		if h.CoordDigit(dr, 0) != 3-h.CoordDigit(sr, 2) {
+			t.Fatalf("DCR x' != comp(z) at %d", src)
+		}
+		if h.CoordDigit(dr, 1) != 3-h.CoordDigit(sr, 1) {
+			t.Fatalf("DCR y' != comp(y) at %d", src)
+		}
+	}
+}
+
+// TestDCRFunnelsUnderDOR verifies the property the paper uses to explain
+// DOR's 1/(W*t) collapse: after aligning X, the entire X-instance's
+// traffic crosses one Y link. We count, over all sources in one
+// X-instance, the distinct (router, Y-target) pairs their DOR paths use
+// at the Y stage — it must be exactly one.
+func TestDCRFunnelsUnderDOR(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4, 4}, 4)
+	p := DCR{Topo: h}
+	rs := rng.New(5)
+	links := map[[2]int]bool{}
+	y, z := 1, 2 // the X instance with y=1, z=2
+	for x := 0; x < 4; x++ {
+		for l := 0; l < h.Terms; l++ {
+			src := (h.RouterAt([]int{x, y, z}))*h.Terms + l
+			d := p.Dest(src, rs)
+			dr := d / h.Terms
+			// DOR: align X first -> router (x', y, z), then Y link.
+			xAligned := h.RouterAt([]int{h.CoordDigit(dr, 0), y, z})
+			links[[2]int{xAligned, h.CoordDigit(dr, 1)}] = true
+		}
+	}
+	if len(links) != 1 {
+		t.Errorf("DCR+DOR Y-stage uses %d distinct links, want exactly 1 (the W*t:1 funnel)", len(links))
+	}
+}
+
+// TestTornadoShift: each coordinate shifts by half the width.
+func TestTornadoShift(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	tor := Tornado{Topo: h}
+	for src := 0; src < h.NumTerminals(); src++ {
+		d := tor.Dest(src, nil)
+		sr, dr := src/h.Terms, d/h.Terms
+		for e := 0; e < 2; e++ {
+			if h.CoordDigit(dr, e) != (h.CoordDigit(sr, e)+2)%4 {
+				t.Fatalf("tornado shift wrong at %d dim %d", src, e)
+			}
+		}
+	}
+}
+
+// TestTransposeInvolution on a square grid.
+func TestTransposeInvolution(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	tp := Transpose{Topo: h}
+	for src := 0; src < h.NumTerminals(); src++ {
+		if tp.Dest(tp.Dest(src, nil), nil) != src {
+			t.Fatalf("transpose not an involution at %d", src)
+		}
+	}
+}
+
+// TestHotspotFraction: roughly the configured fraction hits the hot node
+// and the hot node never targets itself.
+func TestHotspotFraction(t *testing.T) {
+	h := Hotspot{N: 64, Hot: 5, Fraction: 0.3}
+	rs := rng.New(2)
+	hits, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		src := i % 64
+		d := h.Dest(src, rs)
+		if d == src {
+			t.Fatal("hotspot returned self")
+		}
+		if src == 5 {
+			continue
+		}
+		total++
+		if d == 5 {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(total)
+	// UR picks the hot node occasionally too, so expect slightly > 0.3.
+	if frac < 0.28 || frac > 0.36 {
+		t.Errorf("hot fraction %.3f, want ~0.30-0.32", frac)
+	}
+}
+
+// TestSizeDists: bounds and means.
+func TestSizeDists(t *testing.T) {
+	rs := rng.New(9)
+	u := UniformSize{Min: 1, Max: 16}
+	if u.Mean() != 8.5 {
+		t.Errorf("mean %v", u.Mean())
+	}
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := u.Draw(rs)
+		if v < 1 || v > 16 {
+			t.Fatalf("size %d out of range", v)
+		}
+		sum += v
+	}
+	if m := float64(sum) / n; m < 8.3 || m > 8.7 {
+		t.Errorf("empirical mean %.2f", m)
+	}
+	f := FixedSize(4)
+	if f.Draw(rs) != 4 || f.Mean() != 4 {
+		t.Error("FixedSize broken")
+	}
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every experiment CSV in this directory at the default
+# (256-node) scale. Pass -paper flags manually for the 4,096-node scale.
+set -e
+cd "$(dirname "$0")/.."
+for pat in UR BC URBx URBy URBz S2 DCR; do
+  go run ./cmd/hxsweep -pattern $pat -step 0.1 -warmup 8000 -window 8000 > results/fig6_$pat.csv
+done
+go run ./cmd/hxsweep -throughput -warmup 8000 -window 8000 > results/fig6g_throughput.csv
+go run ./cmd/hxstencil -bytes 100000 > results/fig8.csv
+go run ./cmd/hxstencil -bytes 100000 -iters 16 -algs DimWAR,OmniWAR,UGAL,UGAL+ > results/fig8c_16iter.csv
+go run ./cmd/hxstencil -fig4 -bytes 100000 > results/fig4.csv
+go run ./cmd/hxcost -fig 2 > results/fig2.csv
+go run ./cmd/hxcost -fig 3 > results/fig3.csv
+echo ALL_DONE

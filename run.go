@@ -1,0 +1,181 @@
+package hyperx
+
+import (
+	"fmt"
+
+	"hyperx/internal/sim"
+	"hyperx/internal/stats"
+	"hyperx/internal/traffic"
+)
+
+// RunOpts controls a steady-state run. Zero values take defaults sized
+// for the 4x4x4 test scale; multiply Warmup/Window up for the full 8x8x8.
+type RunOpts struct {
+	Warmup     int     // cycles before the measurement window (default 20000)
+	Window     int     // measurement window length in cycles (default 15000)
+	DrainCap   int     // extra cycles allowed for measured packets to drain (default 10x window)
+	LatencyCap float64 // mean latency declaring saturation outright (default 20000)
+	MinFlits   int     // smallest generated packet (default 1)
+	MaxFlits   int     // largest generated packet (default 16)
+}
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Warmup == 0 {
+		o.Warmup = 20000
+	}
+	if o.Window == 0 {
+		o.Window = 15000
+	}
+	if o.DrainCap == 0 {
+		o.DrainCap = 10 * o.Window
+	}
+	if o.LatencyCap == 0 {
+		o.LatencyCap = 20000
+	}
+	if o.MinFlits == 0 {
+		o.MinFlits = 1
+	}
+	if o.MaxFlits == 0 {
+		o.MaxFlits = 16
+	}
+	return o
+}
+
+// LoadPoint is one point on a load-latency curve (Figure 6 a-f).
+type LoadPoint struct {
+	Load      float64 // offered load, flits/cycle/terminal (1.0 = capacity)
+	Mean      float64 // mean packet latency, cycles (ns)
+	P50       float64
+	P99       float64
+	Accepted  float64 // accepted throughput, flits/cycle/terminal
+	Samples   int
+	Saturated bool
+}
+
+// RunLoadPoint measures one offered load for one pattern, following the
+// Section 6.1 methodology: warm up, then measure every packet born in the
+// window while injection continues; injection stops only once all
+// measured packets are delivered (or the drain cap declares saturation).
+func RunLoadPoint(cfg Config, patternName string, load float64, opts RunOpts) (LoadPoint, error) {
+	opts = opts.withDefaults()
+	inst, err := Build(cfg)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	pat, err := NewPattern(patternName, inst.Topo)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+
+	warm := sim.Time(opts.Warmup)
+	end := warm + sim.Time(opts.Window)
+	col := stats.NewCollector(warm, end)
+	inst.Net.OnDeliver = col.OnDeliver
+
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: opts.MinFlits, Max: opts.MaxFlits},
+		Load:    load,
+		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
+	}
+	gen.Start(inst.Cfg.Seed)
+
+	inst.K.Run(end)
+	// Drain: injection continues (realistic back-pressure on the measured
+	// tail) until every measured packet is delivered or the cap is hit.
+	deadline := end + sim.Time(opts.DrainCap)
+	for !col.Done() && inst.K.Now() < deadline {
+		inst.K.Run(inst.K.Now() + 2000)
+	}
+	gen.Stop()
+
+	res := col.Summarize(inst.Topo.NumTerminals(), opts.LatencyCap)
+	// The sharpest saturation signal in an open-loop run: the network
+	// accepts measurably less than offered, so source queues grow without
+	// bound.
+	saturated := res.Saturated || res.Accepted < 0.95*load-0.005
+	return LoadPoint{
+		Load:      load,
+		Mean:      res.Mean,
+		P50:       res.P50,
+		P99:       res.P99,
+		Accepted:  res.Accepted,
+		Samples:   res.Samples,
+		Saturated: saturated,
+	}, nil
+}
+
+// RunLoadSweep measures ascending offered loads and stops after the first
+// saturated point, mirroring how the paper's load-latency lines end at
+// saturation. Loads are fractions of terminal channel capacity.
+func RunLoadSweep(cfg Config, patternName string, loads []float64, opts RunOpts) ([]LoadPoint, error) {
+	var out []LoadPoint
+	for _, l := range loads {
+		pt, err := RunLoadPoint(cfg, patternName, l, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pt)
+		if pt.Saturated {
+			break
+		}
+	}
+	return out, nil
+}
+
+// LoadRange builds the sweep grid [step, 2*step, ..., 1.0]; the paper uses
+// a 2% granularity (step 0.02).
+func LoadRange(step float64) []float64 {
+	var out []float64
+	for l := step; l <= 1.0+1e-9; l += step {
+		out = append(out, l)
+	}
+	return out
+}
+
+// RunThroughput measures accepted throughput at full offered load — the
+// saturated "total achieved throughput" of Figure 6g.
+func RunThroughput(cfg Config, patternName string, opts RunOpts) (float64, error) {
+	opts = opts.withDefaults()
+	inst, err := Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	pat, err := NewPattern(patternName, inst.Topo)
+	if err != nil {
+		return 0, err
+	}
+	warm := sim.Time(opts.Warmup)
+	end := warm + sim.Time(opts.Window)
+	col := stats.NewCollector(warm, end)
+	inst.Net.OnDeliver = col.OnDeliver
+
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: opts.MinFlits, Max: opts.MaxFlits},
+		Load:    1.0,
+		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
+	}
+	gen.Start(inst.Cfg.Seed)
+	inst.K.Run(end)
+	gen.Stop()
+
+	res := col.Summarize(inst.Topo.NumTerminals(), opts.LatencyCap)
+	return res.Accepted, nil
+}
+
+// FormatLoadPoints renders sweep results as an aligned text table.
+func FormatLoadPoints(pts []LoadPoint) string {
+	s := fmt.Sprintf("%8s %10s %10s %10s %10s %9s\n", "load", "mean(ns)", "p50(ns)", "p99(ns)", "accepted", "samples")
+	for _, p := range pts {
+		mark := ""
+		if p.Saturated {
+			mark = "  [saturated]"
+		}
+		s += fmt.Sprintf("%8.2f %10.1f %10.1f %10.1f %10.3f %9d%s\n",
+			p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Samples, mark)
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+package hyperx
+
+import "testing"
+
+// TestSmokeURLowLoad drives every algorithm at low uniform-random load and
+// checks basic sanity: unsaturated, latency near zero-load (a few hundred
+// ns), and near-full delivery.
+func TestSmokeURLowLoad(t *testing.T) {
+	for _, alg := range []string{"DOR", "VAL", "UGAL", "UGAL+", "DimWAR", "OmniWAR", "MinAD"} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			cfg := DefaultScale()
+			cfg.Algorithm = alg
+			pt, err := RunLoadPoint(cfg, "UR", 0.1, RunOpts{Warmup: 3000, Window: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: mean=%.1f p99=%.1f accepted=%.3f samples=%d saturated=%v",
+				alg, pt.Mean, pt.P99, pt.Accepted, pt.Samples, pt.Saturated)
+			if pt.Saturated {
+				t.Fatalf("%s saturated at 10%% UR load", alg)
+			}
+			if pt.Mean < 100 || pt.Mean > 5000 {
+				t.Fatalf("%s mean latency %f out of sane range", alg, pt.Mean)
+			}
+			if pt.Samples == 0 {
+				t.Fatalf("%s collected no samples", alg)
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package hyperx
+
+import (
+	"fmt"
+
+	"hyperx/internal/app"
+	"hyperx/internal/network"
+	"hyperx/internal/routing"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// StencilOpts configures a 27-point stencil application run (Section 6.2).
+type StencilOpts struct {
+	Grid       [3]int // process grid; zero takes the largest cube fitting the network
+	Mode       app.Mode
+	Iterations int
+	Bytes      int  // aggregate halo bytes per process per exchange (default 100 kB)
+	Random     bool // random process placement (the paper's policy)
+	// RecursiveDoubling swaps the dissemination collective for recursive
+	// doubling (requires a power-of-two process count).
+	RecursiveDoubling bool
+	Seed              uint64
+}
+
+// Modes re-exported for callers of RunStencil.
+const (
+	CollectiveOnly = app.CollectiveOnly
+	HaloOnly       = app.HaloOnly
+	FullApp        = app.Full
+)
+
+// RunStencil executes the stencil application on a HyperX built from cfg
+// and returns the measured execution time.
+func RunStencil(cfg Config, o StencilOpts) (app.Result, error) {
+	inst, err := Build(cfg)
+	if err != nil {
+		return app.Result{}, err
+	}
+	return RunStencilOn(inst.Net, o)
+}
+
+// RunStencilOn executes the stencil application on an already-built
+// network of any topology (used by the Figure 4 topology comparison).
+func RunStencilOn(net *network.Network, o StencilOpts) (app.Result, error) {
+	grid := o.Grid
+	if grid[0] == 0 {
+		grid = FitGrid(net.Cfg.Topo.NumTerminals())
+	}
+	place := app.LinearPlacement
+	if o.Random {
+		place = app.RandomPlacement
+	}
+	coll := app.Dissemination
+	if o.RecursiveDoubling {
+		coll = app.RecursiveDoubling
+	}
+	st, err := app.New(net, app.Config{
+		GridX:            grid[0],
+		GridY:            grid[1],
+		GridZ:            grid[2],
+		Mode:             o.Mode,
+		Iterations:       o.Iterations,
+		BytesPerExchange: o.Bytes,
+		Placement:        place,
+		Collective:       coll,
+		Seed:             o.Seed,
+	})
+	if err != nil {
+		return app.Result{}, err
+	}
+	return st.Run()
+}
+
+// FitGrid returns the most cubic 3-D process grid with at most n
+// processes.
+func FitGrid(n int) [3]int {
+	best := [3]int{1, 1, 2}
+	bestVol := 2
+	for x := 1; x*x*x <= n; x++ {
+		for y := x; x*y*y <= n; y++ {
+			z := n / (x * y)
+			if z < y {
+				continue
+			}
+			if v := x * y * z; v > bestVol || (v == bestVol && z-x < best[2]-best[0]) {
+				best, bestVol = [3]int{x, y, z}, v
+			}
+		}
+	}
+	return best
+}
+
+// DragonflyConfig parameterizes the comparison Dragonfly (Figure 4).
+type DragonflyConfig struct {
+	P, A, H   int    // terminals/router, routers/group, globals/router
+	Algorithm string // "MIN", "VAL", "UGAL" (default "UGAL")
+	NumVCs    int
+	Seed      uint64
+}
+
+// BuildDragonfly constructs a Dragonfly network with its routing.
+func BuildDragonfly(cfg DragonflyConfig) (*network.Network, error) {
+	d, err := topology.NewDragonfly(cfg.P, cfg.A, cfg.H)
+	if err != nil {
+		return nil, err
+	}
+	a := routing.NewDragonflyUGAL(d)
+	switch cfg.Algorithm {
+	case "", "UGAL":
+	case "MIN":
+		a = routing.NewDragonflyMIN(d)
+	case "VAL":
+		a = routing.NewDragonflyVAL(d)
+	default:
+		return nil, fmt.Errorf("hyperx: unknown dragonfly algorithm %q", cfg.Algorithm)
+	}
+	if cfg.NumVCs == 0 {
+		cfg.NumVCs = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return network.New(sim.NewKernel(), network.Config{
+		Topo:   d,
+		Alg:    a,
+		NumVCs: cfg.NumVCs,
+		Seed:   cfg.Seed,
+	})
+}
+
+// FatTreeConfig parameterizes the comparison fat tree (Figure 4).
+type FatTreeConfig struct {
+	K      int // switch radix
+	NumVCs int
+	Seed   uint64
+}
+
+// BuildFatTree constructs a 3-level fat tree with adaptive Clos routing.
+func BuildFatTree(cfg FatTreeConfig) (*network.Network, error) {
+	f, err := topology.NewFatTree(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumVCs == 0 {
+		cfg.NumVCs = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return network.New(sim.NewKernel(), network.Config{
+		Topo:   f,
+		Alg:    routing.NewFatTreeAdaptive(f),
+		NumVCs: cfg.NumVCs,
+		Seed:   cfg.Seed,
+	})
+}

@@ -1,0 +1,78 @@
+package hyperx
+
+import (
+	"testing"
+
+	"hyperx/internal/app"
+)
+
+// TestStencilSmoke runs the three application modes on a small HyperX and
+// checks completion and basic ordering: the full app takes at least as
+// long as either phase alone, and 2 iterations take longer than 1.
+func TestStencilSmoke(t *testing.T) {
+	cfg := DefaultScale()
+	cfg.Algorithm = "DimWAR"
+
+	run := func(mode app.Mode, iters int) int64 {
+		t.Helper()
+		res, err := RunStencil(cfg, StencilOpts{
+			Grid:       [3]int{4, 4, 4},
+			Mode:       mode,
+			Iterations: iters,
+			Bytes:      10_000, // scaled down for test runtime
+			Random:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExecTime <= 0 {
+			t.Fatalf("mode %v: non-positive exec time", mode)
+		}
+		return int64(res.ExecTime)
+	}
+	coll := run(CollectiveOnly, 1)
+	halo := run(HaloOnly, 1)
+	full := run(FullApp, 1)
+	full2 := run(FullApp, 2)
+	t.Logf("collective=%d halo=%d full=%d full(2 iters)=%d", coll, halo, full, full2)
+	if full < halo || full < coll {
+		t.Errorf("full app (%d) faster than a single phase (halo=%d coll=%d)", full, halo, coll)
+	}
+	if full2 <= full {
+		t.Errorf("2 iterations (%d) not slower than 1 (%d)", full2, full)
+	}
+}
+
+// TestStencilTopologyComparison exercises the Figure 4 path: the same
+// process grid on HyperX, Dragonfly, and fat tree all complete.
+func TestStencilTopologyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network stencil run")
+	}
+	opts := StencilOpts{Grid: [3]int{4, 4, 4}, Mode: FullApp, Iterations: 1, Bytes: 10_000, Random: true}
+
+	hx := MustBuild(DefaultScale())
+	rh, err := RunStencilOn(hx.Net, opts)
+	if err != nil {
+		t.Fatalf("hyperx: %v", err)
+	}
+
+	df, err := BuildDragonfly(DragonflyConfig{P: 4, A: 8, H: 2}) // 17 groups x 8 routers x 4 terms = 544
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := RunStencilOn(df, opts)
+	if err != nil {
+		t.Fatalf("dragonfly: %v", err)
+	}
+
+	ft, err := BuildFatTree(FatTreeConfig{K: 8}) // 128 terminals
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RunStencilOn(ft, StencilOpts{Grid: [3]int{4, 4, 4}, Mode: FullApp, Iterations: 1, Bytes: 10_000, Random: true})
+	if err != nil {
+		t.Fatalf("fattree: %v", err)
+	}
+	t.Logf("exec time: hyperx=%d dragonfly=%d fattree=%d", rh.ExecTime, rd.ExecTime, rf.ExecTime)
+}

@@ -1,0 +1,33 @@
+package hyperx
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperx/internal/topology"
+)
+
+// TableOne renders the paper's Table 1 (adaptive routing implementation
+// comparison) from the live Meta() of each implemented algorithm, so the
+// table can never drift from the code.
+func TableOne() string {
+	h := topology.MustHyperX([]int{8, 8, 8}, 8)
+	cfg := Config{NumVCs: 8, OmniClasses: 8}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-9s %-12s %-8s %-38s %-38s %s\n",
+		"Alg", "DimOrder", "Style", "VCs", "Deadlock", "ArchRequires", "PktContents")
+	for _, name := range []string{"UGAL", "UGAL+", "DAL", "DimWAR", "OmniWAR"} {
+		alg, err := NewAlgorithm(name, h, cfg)
+		if err != nil {
+			panic(err)
+		}
+		m := alg.Meta()
+		dim := "no"
+		if m.DimOrdered {
+			dim = "yes"
+		}
+		fmt.Fprintf(&b, "%-8s %-9s %-12s %-8s %-38s %-38s %s\n",
+			name, dim, m.Style, m.VCsRequired, m.Deadlock, m.ArchRequires, m.PktContents)
+	}
+	return b.String()
+}
