@@ -1,0 +1,38 @@
+# CI entry points. `make ci` is the full gate: static checks, build,
+# race-enabled tests (the internal/harness pool tests are the reason for
+# -race), and a short-deadline smoke sweep through the parallel engine.
+GO ?= go
+
+.PHONY: ci vet build test race quick smoke bench
+
+ci: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite, no race detector (tier-1 gate: go build ./... && go test ./...).
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; race-enables the harness tests.
+race:
+	$(GO) test -race ./...
+
+# Fast iteration loop: skips the steady-state simulations but still runs
+# the harness engine tests (they use synthetic jobs) under -race.
+quick:
+	$(GO) test -race -short ./...
+
+# Short-deadline smoke sweep: exercises the worker pool, early stop,
+# progress lines, and manifest output end to end in a few seconds.
+smoke:
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,VAL -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -manifest /tmp/hxsweep-smoke.json >/dev/null
+	@grep -q '"events_per_sec"' /tmp/hxsweep-smoke.json
+	@echo smoke OK
+
+bench:
+	$(GO) test -bench=. -benchmem

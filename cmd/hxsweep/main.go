@@ -2,14 +2,22 @@
 // (6a-6f) for one traffic pattern across routing algorithms, or the
 // saturated-throughput comparison bars (6g) across all patterns.
 //
+// Sweeps run on the parallel harness (internal/harness): every (pattern,
+// algorithm, load) triple is an independent, independently seeded
+// simulation, so the CSV is bit-identical at any -j worker count, and
+// -manifest records what each job cost (wall time, simulated cycles,
+// events executed, events/sec).
+//
 // Examples:
 //
 //	hxsweep -pattern URBy -step 0.05                  # one Figure 6 panel, CSV
 //	hxsweep -throughput                               # Figure 6g, CSV
 //	hxsweep -pattern DCR -algs DimWAR,OmniWAR -paper  # full 8x8x8 scale
+//	hxsweep -pattern UR -j 8 -manifest run.json       # 8 workers + run manifest
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,9 @@ func main() {
 		patterns   = flag.String("patterns", "UR,BC,URBx,URBy,URBz,S2,DCR", "patterns for -throughput")
 		paper      = flag.Bool("paper", false, "use the paper's 8x8x8 t=8 scale")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); results are identical at any -j")
+		manifest   = flag.String("manifest", "", "write a JSON run manifest (per-job wall time, cycles, events/sec) to this file")
+		quiet      = flag.Bool("q", false, "suppress the per-job progress lines on stderr")
 	)
 	flag.Parse()
 
@@ -39,21 +50,25 @@ func main() {
 	cfg.Seed = *seed
 	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window}
 	algList := split(*algs)
+	po := hyperx.SweepOpts{Workers: *jobs}
+	if !*quiet {
+		po.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	ctx := context.Background()
 
 	if *throughput {
 		// Figure 6g: accepted throughput at 100% offered load.
+		grid, mani, err := hyperx.RunThroughputGrid(ctx, cfg, split(*patterns), algList, opts, po)
+		writeManifest(*manifest, mani)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("pattern,%s\n", strings.Join(algList, ","))
-		for _, pat := range split(*patterns) {
+		for pi, pat := range grid.Patterns {
 			row := []string{pat}
-			for _, alg := range algList {
-				cfg.Algorithm = alg
-				th, err := hyperx.RunThroughput(cfg, pat, opts)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				row = append(row, fmt.Sprintf("%.3f", th))
-				fmt.Fprintf(os.Stderr, "done %s/%s = %.3f\n", pat, alg, th)
+			for ai := range grid.Algorithms {
+				row = append(row, fmt.Sprintf("%.3f", grid.Values[pi][ai]))
 			}
 			fmt.Println(strings.Join(row, ","))
 		}
@@ -62,18 +77,38 @@ func main() {
 
 	// One Figure 6 panel: load,latency CSV per algorithm; lines end at
 	// saturation like the paper's plots.
+	curves, mani, err := hyperx.RunLoadSweepParallel(ctx, cfg, []string{*pattern}, algList, hyperx.LoadRange(*step), opts, po)
+	writeManifest(*manifest, mani)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println("algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated")
-	for _, alg := range algList {
-		cfg.Algorithm = alg
-		pts, err := hyperx.RunLoadSweep(cfg, *pattern, hyperx.LoadRange(*step), opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v\n", c.Algorithm, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated)
 		}
-		for _, p := range pts {
-			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v\n", alg, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "done %s/%s: %d points\n", c.Pattern, c.Algorithm, len(c.Points))
 		}
-		fmt.Fprintf(os.Stderr, "done %s/%s: %d points\n", *pattern, alg, len(pts))
+	}
+}
+
+// writeManifest persists the run manifest when -manifest was given; a
+// manifest is written even for failed runs so aborted sweeps still leave
+// an observability record.
+func writeManifest(path string, m *hyperx.Manifest) {
+	if path == "" || m == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manifest:", err)
+		return
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "manifest:", err)
 	}
 }
 

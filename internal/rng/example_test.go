@@ -1,0 +1,44 @@
+package rng_test
+
+import (
+	"fmt"
+
+	"hyperx/internal/rng"
+)
+
+// Example_streams demonstrates the determinism contract the experiment
+// harness relies on: streams are pure functions of (seed, label), so a
+// component rebuilt anywhere — another goroutine, another process,
+// another machine — replays exactly the same sequence, while distinct
+// labels give unrelated sequences.
+func Example_streams() {
+	// A simulation instance seeded with 7 derives one stream per
+	// component (here: per terminal).
+	term3 := rng.New(7).Derive(3)
+
+	// A second instance built from the same seed — say, the same sweep
+	// point re-run by a different harness worker — sees the identical
+	// stream for the identical component...
+	replay := rng.New(7).Derive(3)
+	fmt.Println("same seed, same label:", term3.Uint64() == replay.Uint64())
+
+	// ...while a different component draws from an unrelated stream, and
+	// deriving does not advance the parent, so the order in which
+	// components are built is immaterial.
+	parent := rng.New(7)
+	a := parent.Derive(4).Uint64()
+	parent.Derive(99) // unrelated derivation in between
+	b := parent.Derive(4).Uint64()
+	fmt.Println("derivation is side-effect free:", a == b)
+
+	// DeriveSeed extends the same property to whole instances: trial k of
+	// a sweep gets a reproducible seed of its own.
+	fmt.Println("trial seeds reproducible:",
+		rng.DeriveSeed(1, 2) == rng.DeriveSeed(1, 2),
+		"and distinct:", rng.DeriveSeed(1, 2) != rng.DeriveSeed(1, 3))
+
+	// Output:
+	// same seed, same label: true
+	// derivation is side-effect free: true
+	// trial seeds reproducible: true and distinct: true
+}

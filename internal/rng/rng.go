@@ -2,6 +2,31 @@
 // for simulation components. Each component owns its own stream so that
 // adding or removing one component never perturbs the random sequence seen
 // by another — a requirement for reproducible experiments.
+//
+// # Determinism guarantees
+//
+// What a seed covers: every random decision inside one simulation instance
+// — traffic destinations, packet sizes, exponential interarrival gaps,
+// arbitration tie-breaks, random process placement — is drawn from streams
+// rooted at the instance's single Config.Seed. Two instances built from
+// the same configuration and seed therefore make identical decisions and
+// produce bit-identical results, on any host, at any optimization level.
+//
+// Per-component stream derivation: components never share a Source.
+// Instead each derives its own via Derive(label), a pure function of
+// (parent state, label) that does not advance the parent. The traffic
+// generator, for example, derives one stream per terminal, so terminal 17
+// sees the same interarrival sequence whether the network has congestion
+// callbacks attached or not, and regardless of the order in which other
+// terminals inject.
+//
+// Why parallel and serial experiment runs agree: the sweep harness
+// (internal/harness) runs each experiment point as an isolated simulation
+// instance whose entire random universe is derived, via the scheme above,
+// from that job's own seed. No RNG state is shared across jobs, so worker
+// count, scheduling order, and speculative cancellation cannot perturb any
+// job's stream — a parallel sweep is bit-identical to the same sweep run
+// serially. See Example (streams) for the property in miniature.
 package rng
 
 import "math"
@@ -20,10 +45,27 @@ func New(seed uint64) *Source {
 }
 
 // Derive returns a new independent source whose seed is a mix of this
-// source's seed-state and the given stream label. It does not advance the
-// parent stream.
+// source's current state and the given stream label. It does not advance
+// the parent stream, and it is a pure function: deriving the same label
+// from sources in the same state always yields the same stream. Use one
+// label per component (terminal index, router index, …) so streams are
+// statistically independent and structurally stable — removing one
+// component's draws never shifts another's.
 func (s *Source) Derive(label uint64) *Source {
 	return New(mix(s.state ^ mix(label)))
+}
+
+// DeriveSeed deterministically folds labels into a base seed, yielding a
+// new seed suitable for an independent simulation instance. With no
+// labels it returns base unchanged. Use it to give repeated trials or
+// sweep replicas distinct but reproducible random universes:
+//
+//	cfg.Seed = rng.DeriveSeed(baseSeed, uint64(trial))
+func DeriveSeed(base uint64, labels ...uint64) uint64 {
+	for _, l := range labels {
+		base = mix(base ^ mix(l))
+	}
+	return base
 }
 
 func mix(z uint64) uint64 {

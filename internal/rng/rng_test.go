@@ -35,6 +35,22 @@ func TestDeriveIndependence(t *testing.T) {
 	}
 }
 
+func TestDeriveSeed(t *testing.T) {
+	if got := DeriveSeed(42); got != 42 {
+		t.Errorf("DeriveSeed with no labels = %d, want base 42", got)
+	}
+	if DeriveSeed(42, 1) == DeriveSeed(42, 2) {
+		t.Error("different labels produced the same seed")
+	}
+	if DeriveSeed(42, 1, 2) == DeriveSeed(42, 2, 1) {
+		t.Error("label order should matter")
+	}
+	// Folding matches the equivalent Derive chain's seeding.
+	if DeriveSeed(42, 5) == 42 {
+		t.Error("label 5 left the seed unchanged")
+	}
+}
+
 // TestIntnBounds: values always land in [0, n).
 func TestIntnBounds(t *testing.T) {
 	s := New(1)

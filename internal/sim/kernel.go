@@ -2,11 +2,26 @@
 //
 // The kernel maintains a time-ordered queue of events. Events scheduled for
 // the same time execute in the order they were scheduled (FIFO within a
-// timestamp), which makes simulations fully deterministic for a fixed seed.
+// timestamp), which makes simulations fully deterministic for a fixed seed:
+// two kernels fed the same schedule execute the same events in the same
+// order, regardless of wall-clock timing, host, or how Run is chunked.
+// This determinism is what lets the parallel sweep harness
+// (internal/harness) promise results bit-identical to serial runs — each
+// simulation instance owns one kernel, and nothing outside the instance
+// can perturb its event order.
+//
+// Cancellation: RunCtx is Run with a cooperative context check every few
+// thousand events. Cancelling never reorders events — an interrupted run
+// has executed a strict prefix of the serial schedule — so a job aborted
+// by the harness's early-stop logic can simply be discarded.
+//
 // Time is measured in cycles; the network model defines 1 cycle = 1 ns.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+)
 
 // Time is the simulation clock value in cycles (1 cycle = 1 ns in the
 // network model built on top of this kernel).
@@ -123,6 +138,39 @@ func (k *Kernel) Run(until Time) Time {
 		}
 	}
 	return k.now
+}
+
+// pollEvery is how many events RunCtx executes between context checks:
+// frequent enough that a cancelled sweep job stops within microseconds,
+// rare enough that the check never shows up in profiles.
+const pollEvery = 8192
+
+// RunCtx is Run with cooperative cancellation: every pollEvery executed
+// events it checks ctx and, when cancelled, returns ctx.Err() with the
+// clock at the last executed event. The event sequence of an uncancelled
+// RunCtx is identical to Run's — the poll only adds an exit point, never
+// reorders work — so callers may freely mix the two.
+func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
+	k.Halted = false
+	n := 0
+	for !k.Halted {
+		if n++; n >= pollEvery {
+			n = 0
+			select {
+			case <-ctx.Done():
+				return k.now, ctx.Err()
+			default:
+			}
+		}
+		if until > 0 && k.queue.Len() > 0 && k.queue[0].at > until {
+			k.now = until
+			break
+		}
+		if !k.Step() {
+			break
+		}
+	}
+	return k.now, nil
 }
 
 // eventHeap orders events by (time, seq).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -143,6 +144,62 @@ func TestKernelHeapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRunCtxMatchesRun: an uncancelled RunCtx executes exactly the same
+// schedule as Run, including the until-boundary clock behaviour.
+func TestRunCtxMatchesRun(t *testing.T) {
+	build := func() (*Kernel, *[]Time) {
+		k := NewKernel()
+		var got []Time
+		for _, at := range []Time{5, 15, 25, 25, 40} {
+			at := at
+			k.At(at, func() { got = append(got, at) })
+		}
+		return k, &got
+	}
+	ka, seenA := build()
+	kb, seenB := build()
+	ka.Run(20)
+	ka.Run(0)
+	if now, err := kb.RunCtx(context.Background(), 20); err != nil || now != 20 {
+		t.Fatalf("RunCtx(20) = %d, %v", now, err)
+	}
+	if _, err := kb.RunCtx(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*seenA) != len(*seenB) || ka.Now() != kb.Now() || ka.Executed() != kb.Executed() {
+		t.Fatalf("RunCtx diverged from Run: %v vs %v", *seenA, *seenB)
+	}
+	for i := range *seenA {
+		if (*seenA)[i] != (*seenB)[i] {
+			t.Fatalf("event order diverged at %d: %v vs %v", i, *seenA, *seenB)
+		}
+	}
+}
+
+// TestRunCtxCancel: a cancelled context stops the run within the poll
+// interval and reports ctx.Err; the executed prefix is a prefix of the
+// serial schedule.
+func TestRunCtxCancel(t *testing.T) {
+	k := NewKernel()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n == 3*pollEvery {
+			cancel()
+		}
+		k.After(1, reschedule)
+	}
+	k.At(0, reschedule)
+	if _, err := k.RunCtx(ctx, 0); err != context.Canceled {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if n < 3*pollEvery || n > 4*pollEvery {
+		t.Fatalf("stopped after %d events, want within one poll interval of %d", n, 3*pollEvery)
 	}
 }
 

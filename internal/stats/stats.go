@@ -1,8 +1,39 @@
 // Package stats implements the paper's steady-state measurement
-// methodology (Section 6.1): warm the network up, sample the latency of
-// every packet born inside a measurement window while injection
-// continues, measure accepted throughput over the same window, and detect
-// saturation as unbounded latency growth.
+// methodology (Section 6.1). A run has four phases, all under continuous
+// open-loop injection (see internal/traffic):
+//
+//  1. Warm-up — [0, Start): the network fills to steady state; nothing
+//     born here is measured, which removes the cold-start transient from
+//     the latency distribution.
+//  2. Measurement window — [Start, End): every packet *born* in the
+//     window is measured from birth to delivery, and every flit
+//     *delivered* inside the window counts toward accepted throughput
+//     (flits/cycle/terminal, so 1.0 = terminal channel capacity).
+//  3. Drain — injection keeps running after End, so the measured tail
+//     experiences realistic back-pressure rather than an artificially
+//     emptying network, until every measured packet is delivered.
+//  4. Drain cap — if more than 1% of measured packets still haven't
+//     arrived when the cap (facade default: 10× the window) expires, the
+//     run is declared saturated: the network cannot sustain the offered
+//     load, so source queues — and latencies — grow without bound.
+//
+// Saturation is detected by whichever of four signals fires first; a
+// load-latency curve (Figure 6a–f) ends at its first saturated point:
+//
+//   - mean latency above an outright cap (RunOpts.LatencyCap);
+//   - >1% of measured packets undelivered at the drain cap (above);
+//   - latency growth *within* the window: the mean over packets born in
+//     the second half exceeding 1.5× the first-half mean (plus 100 ns of
+//     slack) — a stable network's latency does not trend inside the
+//     window;
+//   - accepted throughput measurably below offered load — the
+//     "Accepted < 0.95·load − 0.005" rule applied by the facade
+//     (hyperx.RunLoadPoint), which is the sharpest open-loop signal:
+//     whatever the network does not accept piles up in source queues.
+//
+// The collector is deliberately passive — it only observes OnBirth /
+// OnDeliver callbacks — so attaching it never perturbs simulation
+// determinism (see internal/rng).
 package stats
 
 import (

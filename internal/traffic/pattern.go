@@ -2,6 +2,21 @@
 // (UR, BC, URB, S2, DCR, plus extras), the random packet-size
 // distribution, and the open-loop injection process used for steady-state
 // measurements.
+//
+// Injection is open-loop in the Section 6.1 sense: every terminal
+// independently draws exponentially distributed interarrival gaps whose
+// mean realizes the configured offered load (flits/cycle/terminal, 1.0 =
+// terminal channel capacity), and keeps injecting regardless of network
+// state. The network cannot throttle the sources — when offered exceeds
+// accepted, source queues grow without bound, which is exactly the
+// saturation signal the measurement methodology in internal/stats relies
+// on. Injection also continues through the post-window drain phase so the
+// measured tail sees realistic back-pressure.
+//
+// Determinism: Generator.Start derives one rng stream per terminal from
+// the run's seed (see internal/rng), so a terminal's destination, size,
+// and gap sequence is a pure function of (seed, terminal index) — stable
+// across hosts, schedulers, and parallel sweep workers.
 package traffic
 
 import (

@@ -1,0 +1,185 @@
+package hyperx
+
+import (
+	"context"
+	"fmt"
+
+	"hyperx/internal/harness"
+)
+
+// Manifest is the observability record of a parallel run: pool shape,
+// wall time, and per-job wall time / simulated cycles / events executed /
+// events-per-second. See internal/harness for field documentation; write
+// it with its WriteJSON method.
+type Manifest = harness.Manifest
+
+// SweepOpts configures the parallel execution of a sweep; it does not
+// affect the measured results, only how fast they arrive and what gets
+// reported along the way.
+type SweepOpts struct {
+	// Workers bounds the worker pool (the -j flag of cmd/hxsweep);
+	// 0 means GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
+	// Progress, when non-nil, receives a one-line status per completed
+	// job (cmd/hxsweep points it at stderr).
+	Progress func(line string)
+}
+
+// Curve is one load-latency line of a Figure 6 panel: the sweep of one
+// traffic pattern under one routing algorithm, truncated after its first
+// saturated point exactly like the serial RunLoadSweep output.
+type Curve struct {
+	Pattern   string
+	Algorithm string
+	Points    []LoadPoint
+}
+
+// RunLoadSweepParallel measures the patterns × algorithms grid of
+// load-latency curves on a bounded worker pool. Every (pattern,
+// algorithm, load) triple is an independent simulation seeded exactly as
+// the serial path seeds it, so the returned curves are bit-identical to
+// calling RunLoadSweep once per (pattern, algorithm) — at any worker
+// count. Points past a curve's first confirmed saturation are run
+// speculatively and cancelled once saturation is known; a point at or
+// below the eventual curve end is never cancelled (see internal/harness).
+// Curves are returned in pattern-major order.
+func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []string, loads []float64, opts RunOpts, po SweepOpts) ([]Curve, *Manifest, error) {
+	cfg = cfg.withDefaults()
+	type curveID struct{ pat, alg string }
+	ids := make([]curveID, 0, len(patterns)*len(algs))
+	for _, pat := range patterns {
+		for _, alg := range algs {
+			ids = append(ids, curveID{pat, alg})
+		}
+	}
+
+	jobs := make([]harness.Job, 0, len(ids)*len(loads))
+	for c, id := range ids {
+		ccfg := cfg
+		ccfg.Algorithm = id.alg
+		for li, load := range loads {
+			jobs = append(jobs, harness.Job{
+				Curve: c,
+				Point: li,
+				Label: fmt.Sprintf("%s/%s@%.3f", id.pat, id.alg, load),
+				Seed:  ccfg.Seed,
+				Run: func(jctx context.Context) (harness.Outcome, error) {
+					pt, st, err := runLoadPointCtx(jctx, ccfg, id.pat, load, opts)
+					if err != nil {
+						return harness.Outcome{}, err
+					}
+					return harness.Outcome{
+						Saturated: pt.Saturated,
+						Cycles:    st.Cycles,
+						Events:    st.Events,
+						Value:     pt,
+					}, nil
+				},
+			})
+		}
+	}
+	harness.SortForSpeculation(jobs)
+
+	rr, err := harness.Run(ctx, jobs, harness.Options{
+		Workers:   po.Workers,
+		EarlyStop: true,
+		Progress:  po.Progress,
+	})
+	if err != nil {
+		var m *Manifest
+		if rr != nil {
+			m = rr.Manifest
+		}
+		return nil, m, err
+	}
+
+	// Reassemble in (curve, point) order and truncate each curve at its
+	// first saturated point — the serial early-stop rule.
+	byCurve := make(map[int]map[int]harness.JobResult, len(ids))
+	for _, jr := range rr.Jobs {
+		if byCurve[jr.Job.Curve] == nil {
+			byCurve[jr.Job.Curve] = make(map[int]harness.JobResult, len(loads))
+		}
+		byCurve[jr.Job.Curve][jr.Job.Point] = jr
+	}
+	curves := make([]Curve, len(ids))
+	for c, id := range ids {
+		curves[c] = Curve{Pattern: id.pat, Algorithm: id.alg}
+		for li := range loads {
+			jr, ok := byCurve[c][li]
+			if !ok || !jr.Done {
+				break
+			}
+			pt := jr.Outcome.Value.(LoadPoint)
+			curves[c].Points = append(curves[c].Points, pt)
+			if pt.Saturated {
+				break
+			}
+		}
+	}
+	return curves, rr.Manifest, nil
+}
+
+// ThroughputGrid is the Figure 6g measurement: accepted throughput at
+// full offered load for every pattern × algorithm cell, with
+// Values[p][a] corresponding to Patterns[p] under Algorithms[a].
+type ThroughputGrid struct {
+	Patterns   []string
+	Algorithms []string
+	Values     [][]float64
+}
+
+// RunThroughputGrid measures saturated throughput (offered load 1.0) for
+// every pattern × algorithm cell on a bounded worker pool. Each cell is
+// an independent simulation seeded exactly as RunThroughput seeds it, so
+// every Values entry is bit-identical to the corresponding serial call,
+// at any worker count.
+func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string, opts RunOpts, po SweepOpts) (*ThroughputGrid, *Manifest, error) {
+	cfg = cfg.withDefaults()
+	jobs := make([]harness.Job, 0, len(patterns)*len(algs))
+	for pi, pat := range patterns {
+		for ai, alg := range algs {
+			ccfg := cfg
+			ccfg.Algorithm = alg
+			jobs = append(jobs, harness.Job{
+				Curve: pi*len(algs) + ai, // one cell per curve: no early stop
+				Point: 0,
+				Label: fmt.Sprintf("%s/%s@1.000", pat, alg),
+				Seed:  ccfg.Seed,
+				Run: func(jctx context.Context) (harness.Outcome, error) {
+					th, st, err := runThroughputCtx(jctx, ccfg, pat, opts)
+					if err != nil {
+						return harness.Outcome{}, err
+					}
+					return harness.Outcome{Cycles: st.Cycles, Events: st.Events, Value: th}, nil
+				},
+			})
+		}
+	}
+
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	if err != nil {
+		var m *Manifest
+		if rr != nil {
+			m = rr.Manifest
+		}
+		return nil, m, err
+	}
+
+	grid := &ThroughputGrid{
+		Patterns:   append([]string(nil), patterns...),
+		Algorithms: append([]string(nil), algs...),
+		Values:     make([][]float64, len(patterns)),
+	}
+	for pi := range patterns {
+		grid.Values[pi] = make([]float64, len(algs))
+	}
+	for _, jr := range rr.Jobs {
+		if !jr.Done {
+			continue
+		}
+		pi, ai := jr.Job.Curve/len(algs), jr.Job.Curve%len(algs)
+		grid.Values[pi][ai] = jr.Outcome.Value.(float64)
+	}
+	return grid, rr.Manifest, nil
+}

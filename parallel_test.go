@@ -1,0 +1,157 @@
+package hyperx
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestLoadRangeExact: grid points are generated as i*step, so they carry
+// no accumulated float error — index i is exactly (i+1)*step and every
+// standard step lands exactly on 1.0 at the top.
+func TestLoadRangeExact(t *testing.T) {
+	for _, step := range []float64{0.02, 0.05, 0.1, 0.2, 0.25} {
+		r := LoadRange(step)
+		for i, l := range r {
+			if want := float64(i+1) * step; l != want {
+				t.Errorf("LoadRange(%v)[%d] = %v, want exactly %v", step, i, l, want)
+			}
+		}
+		if last := r[len(r)-1]; last != 1.0 {
+			t.Errorf("LoadRange(%v) endpoint = %v, want exactly 1.0", step, last)
+		}
+	}
+}
+
+// TestRunLoadSweepParallelMatchesSerial: the tentpole determinism claim —
+// for multiple worker counts and seeds, the parallel sweep is
+// byte-identical to the serial RunLoadSweep, including where the curve
+// ends (early stop at first saturation).
+func TestRunLoadSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	loads := LoadRange(0.2)
+	const pattern, alg = "UR", "VAL" // VAL saturates ~0.5: exercises early stop
+
+	serial := make(map[uint64][]LoadPoint)
+	for _, seed := range []uint64{1, 9} {
+		cfg := DefaultScale()
+		cfg.Algorithm = alg
+		cfg.Seed = seed
+		pts, err := RunLoadSweep(cfg, pattern, loads, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) == 0 || len(pts) == len(loads) && !pts[len(pts)-1].Saturated {
+			t.Fatalf("seed %d: want a curve ending in saturation to exercise early stop, got %+v", seed, pts)
+		}
+		serial[seed] = pts
+	}
+
+	cases := []struct {
+		workers int
+		seed    uint64
+	}{
+		{2, 1}, {5, 1}, {2, 9}, {5, 9},
+	}
+	for _, c := range cases {
+		cfg := DefaultScale()
+		cfg.Seed = c.seed
+		curves, mani, err := RunLoadSweepParallel(context.Background(), cfg,
+			[]string{pattern}, []string{alg}, loads, opts, SweepOpts{Workers: c.workers})
+		if err != nil {
+			t.Fatalf("workers=%d seed=%d: %v", c.workers, c.seed, err)
+		}
+		if len(curves) != 1 || curves[0].Pattern != pattern || curves[0].Algorithm != alg {
+			t.Fatalf("workers=%d seed=%d: unexpected curves %+v", c.workers, c.seed, curves)
+		}
+		if !reflect.DeepEqual(curves[0].Points, serial[c.seed]) {
+			t.Errorf("workers=%d seed=%d: parallel diverged from serial:\nparallel: %s\nserial:   %s",
+				c.workers, c.seed, FormatLoadPoints(curves[0].Points), FormatLoadPoints(serial[c.seed]))
+		}
+		if mani == nil || mani.Workers != c.workers || mani.Completed == 0 {
+			t.Errorf("workers=%d seed=%d: manifest missing or empty: %+v", c.workers, c.seed, mani)
+		}
+	}
+}
+
+// TestParallelCancellationPreservesPreSaturation: with one worker per
+// point every load runs concurrently, so the deep-saturated high loads
+// are cancelled mid-flight once the true saturation point confirms — and
+// the curve must still contain every point up to and including it,
+// matching serial exactly. The manifest must show every pre-saturation
+// point as completed, never cancelled.
+func TestParallelCancellationPreservesPreSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	loads := LoadRange(0.2)
+	cfg := DefaultScale()
+	cfg.Algorithm = "VAL"
+	serial, err := RunLoadSweep(cfg, "UR", loads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	curves, mani, err := RunLoadSweepParallel(context.Background(), DefaultScale(),
+		[]string{"UR"}, []string{"VAL"}, loads, opts, SweepOpts{Workers: len(loads)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(curves[0].Points, serial) {
+		t.Errorf("cancellation dropped or altered a pre-saturation point:\nparallel: %s\nserial:   %s",
+			FormatLoadPoints(curves[0].Points), FormatLoadPoints(serial))
+	}
+	satIdx := len(serial) - 1
+	for _, rec := range mani.Jobs {
+		if rec.Point <= satIdx && rec.Status != "done" {
+			t.Errorf("pre-saturation point %d has status %q, want done", rec.Point, rec.Status)
+		}
+		if rec.Status == "done" && (rec.WallSeconds <= 0 || rec.Events == 0) {
+			t.Errorf("job record lacks observability data: %+v", rec)
+		}
+	}
+}
+
+// TestRunThroughputGridMatchesSerial: every grid cell equals the serial
+// RunThroughput measurement for the same configuration and seed.
+func TestRunThroughputGridMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	patterns, algs := []string{"UR"}, []string{"DOR", "VAL"}
+	grid, mani, err := RunThroughputGrid(context.Background(), DefaultScale(), patterns, algs, opts, SweepOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pat := range patterns {
+		for ai, alg := range algs {
+			cfg := DefaultScale()
+			cfg.Algorithm = alg
+			want, err := RunThroughput(cfg, pat, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := grid.Values[pi][ai]; got != want {
+				t.Errorf("%s/%s: grid %.6f != serial %.6f", pat, alg, got, want)
+			}
+		}
+	}
+	if mani.Completed != len(patterns)*len(algs) {
+		t.Errorf("manifest completed = %d, want %d", mani.Completed, len(patterns)*len(algs))
+	}
+}
+
+// TestParallelSweepUnknownAlgorithm: a bad name fails the run with a
+// labelled error instead of hanging the pool.
+func TestParallelSweepUnknownAlgorithm(t *testing.T) {
+	_, _, err := RunLoadSweepParallel(context.Background(), DefaultScale(),
+		[]string{"UR"}, []string{"bogus"}, []float64{0.1}, RunOpts{Warmup: 100, Window: 100}, SweepOpts{})
+	if err == nil {
+		t.Fatal("unknown algorithm did not error")
+	}
+}

@@ -1,12 +1,20 @@
 #!/bin/sh
 # Regenerates every experiment CSV in this directory at the default
 # (256-node) scale. Pass -paper flags manually for the 4,096-node scale.
+#
+# Sweeps run on the parallel harness: set JOBS to bound the worker pool
+# (default 0 = GOMAXPROCS). Results are bit-identical at any JOBS value.
+# Each hxsweep invocation also writes a JSON run manifest (per-job wall
+# time, simulated cycles, events/sec) next to its CSV.
 set -e
 cd "$(dirname "$0")/.."
+JOBS="${JOBS:-0}"
 for pat in UR BC URBx URBy URBz S2 DCR; do
-  go run ./cmd/hxsweep -pattern $pat -step 0.1 -warmup 8000 -window 8000 > results/fig6_$pat.csv
+  go run ./cmd/hxsweep -pattern $pat -step 0.1 -warmup 8000 -window 8000 \
+    -j "$JOBS" -manifest results/fig6_$pat.manifest.json > results/fig6_$pat.csv
 done
-go run ./cmd/hxsweep -throughput -warmup 8000 -window 8000 > results/fig6g_throughput.csv
+go run ./cmd/hxsweep -throughput -warmup 8000 -window 8000 \
+  -j "$JOBS" -manifest results/fig6g_throughput.manifest.json > results/fig6g_throughput.csv
 go run ./cmd/hxstencil -bytes 100000 > results/fig8.csv
 go run ./cmd/hxstencil -bytes 100000 -iters 16 -algs DimWAR,OmniWAR,UGAL,UGAL+ > results/fig8c_16iter.csv
 go run ./cmd/hxstencil -fig4 -bytes 100000 > results/fig4.csv

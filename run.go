@@ -1,6 +1,7 @@
 package hyperx
 
 import (
+	"context"
 	"fmt"
 
 	"hyperx/internal/sim"
@@ -8,8 +9,16 @@ import (
 	"hyperx/internal/traffic"
 )
 
-// RunOpts controls a steady-state run. Zero values take defaults sized
-// for the 4x4x4 test scale; multiply Warmup/Window up for the full 8x8x8.
+// RunOpts controls a steady-state run, following the paper's Section 6.1
+// methodology (documented in full in internal/stats): the network warms
+// up for Warmup cycles under full injection, every packet *born* during
+// the next Window cycles is measured, and injection then continues — so
+// the measured tail experiences realistic back-pressure — until all
+// measured packets are delivered or DrainCap extra cycles have elapsed,
+// at which point the run is declared saturated.
+//
+// Zero values take defaults sized for the 4x4x4 test scale; multiply
+// Warmup/Window up for the full 8x8x8.
 type RunOpts struct {
 	Warmup     int     // cycles before the measurement window (default 20000)
 	Window     int     // measurement window length in cycles (default 15000)
@@ -52,19 +61,36 @@ type LoadPoint struct {
 	Saturated bool
 }
 
+// simStats carries the kernel's observability counters out of a run for
+// the harness manifest.
+type simStats struct {
+	Cycles int64  // simulation clock at the end of the run
+	Events uint64 // kernel events executed
+}
+
 // RunLoadPoint measures one offered load for one pattern, following the
 // Section 6.1 methodology: warm up, then measure every packet born in the
 // window while injection continues; injection stops only once all
 // measured packets are delivered (or the drain cap declares saturation).
 func RunLoadPoint(cfg Config, patternName string, load float64, opts RunOpts) (LoadPoint, error) {
+	pt, _, err := runLoadPointCtx(context.Background(), cfg, patternName, load, opts)
+	return pt, err
+}
+
+// runLoadPointCtx is the cancellable core of RunLoadPoint, shared by the
+// serial and parallel paths. An uncancelled run is bit-identical to the
+// historical serial implementation: the context poll in sim.Kernel.RunCtx
+// never reorders events, and the whole random universe of the instance
+// derives from cfg.Seed alone (see internal/rng).
+func runLoadPointCtx(ctx context.Context, cfg Config, patternName string, load float64, opts RunOpts) (LoadPoint, simStats, error) {
 	opts = opts.withDefaults()
 	inst, err := Build(cfg)
 	if err != nil {
-		return LoadPoint{}, err
+		return LoadPoint{}, simStats{}, err
 	}
 	pat, err := NewPattern(patternName, inst.Topo)
 	if err != nil {
-		return LoadPoint{}, err
+		return LoadPoint{}, simStats{}, err
 	}
 
 	warm := sim.Time(opts.Warmup)
@@ -81,19 +107,29 @@ func RunLoadPoint(cfg Config, patternName string, load float64, opts RunOpts) (L
 	}
 	gen.Start(inst.Cfg.Seed)
 
-	inst.K.Run(end)
+	kstats := func() simStats {
+		return simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}
+	}
+	if _, err := inst.K.RunCtx(ctx, end); err != nil {
+		return LoadPoint{}, kstats(), err
+	}
 	// Drain: injection continues (realistic back-pressure on the measured
 	// tail) until every measured packet is delivered or the cap is hit.
 	deadline := end + sim.Time(opts.DrainCap)
 	for !col.Done() && inst.K.Now() < deadline {
-		inst.K.Run(inst.K.Now() + 2000)
+		if _, err := inst.K.RunCtx(ctx, inst.K.Now()+2000); err != nil {
+			return LoadPoint{}, kstats(), err
+		}
 	}
 	gen.Stop()
 
 	res := col.Summarize(inst.Topo.NumTerminals(), opts.LatencyCap)
 	// The sharpest saturation signal in an open-loop run: the network
-	// accepts measurably less than offered, so source queues grow without
-	// bound.
+	// accepts measurably less than offered (beyond a 5% relative + 0.005
+	// absolute tolerance for sampling noise at low loads), so source
+	// queues grow without bound. This is the rule that terminates each
+	// Figure 6 curve; stats.Collector contributes the latency-based
+	// signals folded in via res.Saturated.
 	saturated := res.Saturated || res.Accepted < 0.95*load-0.005
 	return LoadPoint{
 		Load:      load,
@@ -103,12 +139,13 @@ func RunLoadPoint(cfg Config, patternName string, load float64, opts RunOpts) (L
 		Accepted:  res.Accepted,
 		Samples:   res.Samples,
 		Saturated: saturated,
-	}, nil
+	}, kstats(), nil
 }
 
 // RunLoadSweep measures ascending offered loads and stops after the first
 // saturated point, mirroring how the paper's load-latency lines end at
 // saturation. Loads are fractions of terminal channel capacity.
+// RunLoadSweepParallel produces bit-identical curves on a worker pool.
 func RunLoadSweep(cfg Config, patternName string, loads []float64, opts RunOpts) ([]LoadPoint, error) {
 	var out []LoadPoint
 	for _, l := range loads {
@@ -125,10 +162,16 @@ func RunLoadSweep(cfg Config, patternName string, loads []float64, opts RunOpts)
 }
 
 // LoadRange builds the sweep grid [step, 2*step, ..., 1.0]; the paper uses
-// a 2% granularity (step 0.02).
+// a 2% granularity (step 0.02). Each point is computed as i*step (not by
+// repeated addition), so grids are exact: LoadRange(0.1)[9] is exactly
+// 1.0, and the same index always yields the same load bit pattern.
 func LoadRange(step float64) []float64 {
 	var out []float64
-	for l := step; l <= 1.0+1e-9; l += step {
+	for i := 1; ; i++ {
+		l := float64(i) * step
+		if l > 1.0+1e-9 {
+			break
+		}
 		out = append(out, l)
 	}
 	return out
@@ -137,14 +180,22 @@ func LoadRange(step float64) []float64 {
 // RunThroughput measures accepted throughput at full offered load — the
 // saturated "total achieved throughput" of Figure 6g.
 func RunThroughput(cfg Config, patternName string, opts RunOpts) (float64, error) {
+	th, _, err := runThroughputCtx(context.Background(), cfg, patternName, opts)
+	return th, err
+}
+
+// runThroughputCtx is the cancellable core of RunThroughput, shared by
+// the serial and parallel paths; uncancelled runs are bit-identical to
+// the historical serial implementation.
+func runThroughputCtx(ctx context.Context, cfg Config, patternName string, opts RunOpts) (float64, simStats, error) {
 	opts = opts.withDefaults()
 	inst, err := Build(cfg)
 	if err != nil {
-		return 0, err
+		return 0, simStats{}, err
 	}
 	pat, err := NewPattern(patternName, inst.Topo)
 	if err != nil {
-		return 0, err
+		return 0, simStats{}, err
 	}
 	warm := sim.Time(opts.Warmup)
 	end := warm + sim.Time(opts.Window)
@@ -159,11 +210,14 @@ func RunThroughput(cfg Config, patternName string, opts RunOpts) (float64, error
 		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
 	}
 	gen.Start(inst.Cfg.Seed)
-	inst.K.Run(end)
+	if _, err := inst.K.RunCtx(ctx, end); err != nil {
+		return 0, simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}, err
+	}
 	gen.Stop()
+	st := simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}
 
 	res := col.Summarize(inst.Topo.NumTerminals(), opts.LatencyCap)
-	return res.Accepted, nil
+	return res.Accepted, st, nil
 }
 
 // FormatLoadPoints renders sweep results as an aligned text table.
