@@ -3,9 +3,9 @@
 # -race), and a short-deadline smoke sweep through the parallel engine.
 GO ?= go
 
-.PHONY: ci vet build test race quick smoke bench
+.PHONY: ci vet build test race quick smoke faultsmoke bench
 
-ci: vet build race smoke
+ci: vet build race smoke faultsmoke
 
 vet:
 	$(GO) vet ./...
@@ -17,9 +17,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector; race-enables the harness tests.
+# Race detector pass: the full internal tree (the harness pool is the
+# concurrency that matters), plus the short root-package tests — the root
+# package is steady-state simulations that run minutes each under the
+# detector's slowdown without exercising any extra concurrency.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/...
+	$(GO) test -race -short .
 
 # Fast iteration loop: skips the steady-state simulations but still runs
 # the harness engine tests (they use synthetic jobs) under -race.
@@ -33,6 +37,20 @@ smoke:
 		-warmup 1000 -window 1000 -j 2 -manifest /tmp/hxsweep-smoke.json >/dev/null
 	@grep -q '"events_per_sec"' /tmp/hxsweep-smoke.json
 	@echo smoke OK
+
+# Fault-injection smoke: every algorithm sweeps a small topology with two
+# failed links (the fault set is connectivity-preserving by construction).
+# The gate: the fault-aware algorithms must not drop a single packet —
+# column 9 of the sweep CSV is the whole-run drop count.
+faultsmoke:
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,VAL,UGAL,UGAL+,DimWAR,OmniWAR,MinAD,DAL \
+		-faults 2 -step 0.25 -warmup 1000 -window 1000 -j 2 -q \
+		-manifest /tmp/hxsweep-faultsmoke.json > /tmp/hxsweep-faultsmoke.csv
+	@grep -q '"faults"' /tmp/hxsweep-faultsmoke.json
+	@awk -F, 'NR>1 && ($$1=="DimWAR" || $$1=="OmniWAR") && $$9+0 > 0 \
+		{ print "FAIL: " $$1 " dropped " $$9 " packets with 2 faults"; bad=1 } \
+		END { exit bad }' /tmp/hxsweep-faultsmoke.csv
+	@echo faultsmoke OK
 
 bench:
 	$(GO) test -bench=. -benchmem

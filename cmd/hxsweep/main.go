@@ -8,12 +8,21 @@
 // -manifest records what each job cost (wall time, simulated cycles,
 // events executed, events/sec).
 //
+// Fault injection: -faults k fails k randomly chosen (seeded by
+// -faultseed, connectivity-preserving) router-to-router links in every
+// simulation of the sweep, and the manifest records the failed links plus
+// per-job delivered/dropped packet counts. -resilience K instead runs the
+// graceful-degradation experiment: every algorithm at a fixed -load for
+// k = 0..K failed links, one CSV row per cell.
+//
 // Examples:
 //
 //	hxsweep -pattern URBy -step 0.05                  # one Figure 6 panel, CSV
 //	hxsweep -throughput                               # Figure 6g, CSV
 //	hxsweep -pattern DCR -algs DimWAR,OmniWAR -paper  # full 8x8x8 scale
 //	hxsweep -pattern UR -j 8 -manifest run.json       # 8 workers + run manifest
+//	hxsweep -pattern UR -faults 4 -manifest run.json  # sweep with 4 dead links
+//	hxsweep -resilience 6 -load 0.5                   # degradation vs fault count
 package main
 
 import (
@@ -37,6 +46,10 @@ func main() {
 		patterns   = flag.String("patterns", "UR,BC,URBx,URBy,URBz,S2,DCR", "patterns for -throughput")
 		paper      = flag.Bool("paper", false, "use the paper's 8x8x8 t=8 scale")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		faults     = flag.Int("faults", 0, "inject this many failed router-router links (0 = pristine)")
+		faultseed  = flag.Uint64("faultseed", 0, "seed for fault selection (0 = use -seed)")
+		resilience = flag.Int("resilience", 0, "run the resilience experiment for 0..K failed links at -load")
+		load       = flag.Float64("load", 0.5, "fixed offered load for -resilience")
 		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); results are identical at any -j")
 		manifest   = flag.String("manifest", "", "write a JSON run manifest (per-job wall time, cycles, events/sec) to this file")
 		quiet      = flag.Bool("q", false, "suppress the per-job progress lines on stderr")
@@ -48,6 +61,8 @@ func main() {
 		cfg = hyperx.PaperScale()
 	}
 	cfg.Seed = *seed
+	cfg.Faults = *faults
+	cfg.FaultSeed = *faultseed
 	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window}
 	algList := split(*algs)
 	po := hyperx.SweepOpts{Workers: *jobs}
@@ -55,6 +70,25 @@ func main() {
 		po.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 	ctx := context.Background()
+
+	if *resilience > 0 {
+		// Graceful degradation: every algorithm x fault-count cell at one
+		// fixed offered load.
+		points, mani, err := hyperx.RunResilienceSweep(ctx, cfg, *pattern, algList, *resilience, *load, opts, po)
+		writeManifest(*manifest, mani)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("algorithm,faults,load,mean_ns,p99_ns,accepted,delivered,dropped,delivered_frac")
+		for _, p := range points {
+			lp := p.LoadPoint
+			fmt.Printf("%s,%d,%.3f,%.1f,%.1f,%.3f,%d,%d,%.6f\n",
+				p.Algorithm, p.Faults, lp.Load, lp.Mean, lp.P99, lp.Accepted,
+				lp.Delivered, lp.Dropped, p.DeliveredFrac())
+		}
+		return
+	}
 
 	if *throughput {
 		// Figure 6g: accepted throughput at 100% offered load.
@@ -83,10 +117,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println("algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated")
+	fmt.Println("algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated,delivered,dropped")
 	for _, c := range curves {
 		for _, p := range c.Points {
-			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v\n", c.Algorithm, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated)
+			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v,%d,%d\n",
+				c.Algorithm, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated, p.Delivered, p.Dropped)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "done %s/%s: %d points\n", c.Pattern, c.Algorithm, len(c.Points))

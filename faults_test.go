@@ -1,0 +1,156 @@
+package hyperx
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestFaultConfigBuilds: the facade wires one consistent fault picture
+// into topology, algorithm, and network; fault selection is a pure
+// function of (Widths, Faults, FaultSeed).
+func TestFaultConfigBuilds(t *testing.T) {
+	cfg := DefaultScale()
+	cfg.Faults = 3
+	cfg.FaultSeed = 99
+	inst, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Faults.Size() != 3 {
+		t.Fatalf("instance has %d faults, want 3", inst.Faults.Size())
+	}
+	fs, err := BuildFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs.Strings(), inst.Faults.Strings()) {
+		t.Error("BuildFaults disagrees with the built instance")
+	}
+	pristine := DefaultScale()
+	if fs, err := BuildFaults(pristine); err != nil || fs != nil {
+		t.Errorf("Faults=0 must yield a nil fault set, got %v, %v", fs, err)
+	}
+}
+
+// TestFaultSweepDeterminismAcrossWorkers: the satellite determinism
+// claim — the same (seed, faultseed, k) yields identical sweep results
+// at any worker count, drops included.
+func TestFaultSweepDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	loads := []float64{0.2, 0.4}
+	cfg := DefaultScale()
+	cfg.Seed = 3
+	cfg.Faults = 2
+	cfg.FaultSeed = 17
+
+	var ref []Curve
+	for _, workers := range []int{1, 8} {
+		curves, mani, err := RunLoadSweepParallel(context.Background(), cfg,
+			[]string{"UR"}, []string{"DimWAR", "DOR"}, loads, opts, SweepOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(mani.Faults) != 2 {
+			t.Fatalf("workers=%d: manifest records %d faults, want 2", workers, len(mani.Faults))
+		}
+		if ref == nil {
+			ref = curves
+			continue
+		}
+		if !reflect.DeepEqual(ref, curves) {
+			t.Errorf("workers=%d diverged from workers=1 on a faulted sweep", workers)
+		}
+	}
+
+	// DimWAR routes around the faults; DOR pays for them in drops.
+	for _, c := range ref {
+		for _, p := range c.Points {
+			if c.Algorithm == "DimWAR" && p.Dropped != 0 {
+				t.Errorf("DimWAR dropped %d packets at load %.2f", p.Dropped, p.Load)
+			}
+		}
+	}
+}
+
+// TestResilienceSweep: the graceful-degradation experiment end-to-end on
+// a small topology — fault-aware algorithms keep DeliveredFrac at 1.0,
+// the dimension-ordered baseline loses packets, and k=0 cells are
+// loss-free for everyone.
+func TestResilienceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := DefaultScale()
+	cfg.Seed = 5
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	algs := []string{"DOR", "DimWAR"}
+	points, mani, err := RunResilienceSweep(context.Background(), cfg,
+		"UR", algs, 2, 0.3, opts, SweepOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(algs)*3 {
+		t.Fatalf("got %d points, want %d", len(points), len(algs)*3)
+	}
+	if len(mani.Faults) == 0 {
+		t.Error("resilience manifest must record the max-k fault list")
+	}
+	var dorLoss bool
+	for _, p := range points {
+		if p.Faults == 0 {
+			if p.LoadPoint.Dropped != 0 {
+				t.Errorf("%s k=0 dropped %d packets on a pristine network", p.Algorithm, p.LoadPoint.Dropped)
+			}
+			if len(p.FaultSet) != 0 {
+				t.Errorf("%s k=0 carries a fault list", p.Algorithm)
+			}
+			continue
+		}
+		if len(p.FaultSet) != p.Faults {
+			t.Errorf("%s k=%d records %d links", p.Algorithm, p.Faults, len(p.FaultSet))
+		}
+		switch p.Algorithm {
+		case "DimWAR":
+			if p.DeliveredFrac() != 1.0 {
+				t.Errorf("DimWAR k=%d delivered fraction %.6f, want 1.0", p.Faults, p.DeliveredFrac())
+			}
+		case "DOR":
+			if p.LoadPoint.Dropped > 0 {
+				dorLoss = true
+			}
+		}
+	}
+	if !dorLoss {
+		t.Error("DOR shed no packets across any faulted cell; detect-and-drop path untested")
+	}
+}
+
+// TestPaperScaleFaultDelivery is the headline acceptance run: four random
+// link failures on the full 8x8x8, DimWAR and OmniWAR each deliver 100%
+// of injected packets with zero drops.
+func TestPaperScaleFaultDelivery(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("paper-scale simulation")
+	}
+	cfg := PaperScale()
+	cfg.Faults = 4
+	cfg.FaultSeed = 2
+	opts := RunOpts{Warmup: 3000, Window: 3000}
+	for _, alg := range []string{"DimWAR", "OmniWAR"} {
+		cfg.Algorithm = alg
+		pt, err := RunLoadPoint(cfg, "UR", 0.3, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if pt.Dropped != 0 {
+			t.Errorf("%s dropped %d of %d packets with k=4", alg, pt.Dropped, pt.Delivered+pt.Dropped)
+		}
+		if pt.Delivered == 0 {
+			t.Errorf("%s delivered nothing", alg)
+		}
+	}
+}

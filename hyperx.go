@@ -62,6 +62,16 @@ type Config struct {
 	// paper's configuration), "fifo", or "random" (ablation).
 	Arbiter string
 
+	// Faults is the number of failed router-to-router links to inject
+	// (0 = pristine network). Links are chosen by a deterministic seeded
+	// shuffle, resampled until the surviving network is connected; DimWAR
+	// and OmniWAR reroute around the failures while the dimension-ordered
+	// baselines drop (and count) packets that meet a dead hop.
+	Faults int
+	// FaultSeed seeds the fault selection (default: Seed), so the fault
+	// pattern can be varied independently of the traffic universe.
+	FaultSeed uint64
+
 	Seed uint64
 }
 
@@ -84,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed
+	}
 	return c
 }
 
@@ -102,11 +115,35 @@ func DefaultScale() Config {
 
 // Instance is a built simulation: kernel, network, topology, algorithm.
 type Instance struct {
-	Cfg  Config
-	K    *sim.Kernel
-	Topo *topology.HyperX
-	Alg  route.Algorithm
-	Net  *network.Network
+	Cfg    Config
+	K      *sim.Kernel
+	Topo   *topology.HyperX
+	Alg    route.Algorithm
+	Net    *network.Network
+	Faults *topology.FaultSet // nil when Cfg.Faults == 0
+}
+
+// faultAware is implemented by routing algorithms whose candidate
+// generation can be restricted to live links (DimWAR, OmniWAR, MinAD).
+type faultAware interface {
+	SetFaults(*topology.FaultSet)
+}
+
+// BuildFaults constructs the deterministic fault set a Config implies:
+// Faults failed links drawn by FaultSeed, resampled until the surviving
+// network is connected. Returns nil (no error) when Faults == 0. Callers
+// that only need the fault list for a manifest use this without paying
+// for a network build.
+func BuildFaults(cfg Config) (*topology.FaultSet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Faults == 0 {
+		return nil, nil
+	}
+	h, err := topology.NewHyperX(cfg.Widths, cfg.Terms)
+	if err != nil {
+		return nil, err
+	}
+	return topology.RandomConnectedFaults(h, cfg.Faults, cfg.FaultSeed)
 }
 
 // NewAlgorithm constructs a HyperX routing algorithm by name.
@@ -176,6 +213,16 @@ func Build(cfg Config) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	var faults *topology.FaultSet
+	if cfg.Faults > 0 {
+		faults, err = topology.RandomConnectedFaults(h, cfg.Faults, cfg.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		if fa, ok := alg.(faultAware); ok {
+			fa.SetFaults(faults)
+		}
+	}
 	atomic := cfg.AtomicVCAlloc || cfg.Algorithm == "DAL"
 	var arb network.Arbiter
 	switch cfg.Arbiter {
@@ -201,12 +248,13 @@ func Build(cfg Config) (*Instance, error) {
 		AtomicVCAlloc: atomic,
 		ClassSense:    cfg.ClassSense,
 		Arbiter:       arb,
+		Faults:        faults,
 		Seed:          cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{Cfg: cfg, K: k, Topo: h, Alg: alg, Net: net}, nil
+	return &Instance{Cfg: cfg, K: k, Topo: h, Alg: alg, Net: net, Faults: faults}, nil
 }
 
 // MustBuild is Build that panics on error; for tests and examples with

@@ -29,13 +29,24 @@ import (
 // class 1 to class 0 buffers, and dimensions are visited in a fixed order,
 // so two classes suffice for deadlock freedom for any dimensionality.
 type DimWAR struct {
-	topo *topology.HyperX
+	topo   *topology.HyperX
+	faults *topology.FaultSet
 }
 
 // NewDimWAR returns a DimWAR instance for the given HyperX.
 func NewDimWAR(h *topology.HyperX) *DimWAR {
 	return &DimWAR{topo: h}
 }
+
+// SetFaults makes candidate generation fault-aware: dead minimal hops are
+// omitted, and a deroute is offered only when both of its hops (the
+// lateral and the forced aligning hop) are alive — because a class-1
+// packet's only admissible move is the aligning hop, committing to a
+// deroute whose second hop is dead would wedge the packet. The restricted
+// candidate set is a subset of the fault-free one, so the two-class
+// deadlock discipline of §5.1 is unchanged. Faults are static; nil means
+// pristine and restores the exact fault-free candidate stream.
+func (a *DimWAR) SetFaults(fs *topology.FaultSet) { a.faults = fs }
 
 // Name implements route.Algorithm.
 func (a *DimWAR) Name() string { return "DimWAR" }
@@ -68,24 +79,43 @@ func (a *DimWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	dstV := h.CoordDigit(dst, d)
 	own := h.CoordDigit(r, d)
 	dim := int8(d)
+	fs := a.faults
 
-	cands := append(ctx.Cands[:0], route.Candidate{
-		Port:     h.DimPort(r, d, dstV),
-		Class:    0,
-		HopsLeft: minRem,
-		Dim:      dim,
-	})
+	cands := ctx.Cands[:0]
+	minPort := h.DimPort(r, d, dstV)
+	if !fs.Dead(r, minPort) {
+		cands = append(cands, route.Candidate{
+			Port:     minPort,
+			Class:    0,
+			HopsLeft: minRem,
+			Dim:      dim,
+		})
+	}
 	// Deroutes are valid only within the current dimension and only while
 	// the packet occupies the first resource class (step 2 of §5.1). A
 	// packet that just derouted sits on class 1 and must take the aligning
-	// minimal hop next, bounding it to one deroute per dimension.
+	// minimal hop next, bounding it to one deroute per dimension. Under
+	// faults that forced aligning hop must be verified alive before the
+	// deroute is offered; when the minimal hop is dead, a surviving
+	// deroute-then-align pair is the only admissible path through the
+	// dimension.
 	if p.Class == 0 {
 		for v := 0; v < h.Widths[d]; v++ {
 			if v == own || v == dstV {
 				continue
 			}
+			port := h.DimPort(r, d, v)
+			if fs != nil {
+				if fs.Dead(r, port) {
+					continue
+				}
+				via := h.WithDigit(r, d, v)
+				if fs.Dead(via, h.DimPort(via, d, dstV)) {
+					continue
+				}
+			}
 			cands = append(cands, route.Candidate{
-				Port:     h.DimPort(r, d, v),
+				Port:     port,
 				Class:    1,
 				HopsLeft: minRem + 1,
 				Deroute:  true,

@@ -19,6 +19,13 @@ type OmniWAR struct {
 	topo    *topology.HyperX
 	classes int  // N + M distance classes
 	noB2B   bool // restrict back-to-back deroutes in the same dimension (§5.2 optimization)
+	faults  *topology.FaultSet
+
+	// risk[d][v] marks that some dead link in dimension d touches digit v:
+	// a packet whose dimension-d destination digit is v may meet a dead
+	// aligning hop somewhere along its walk, even where the local minimal
+	// link is alive. Precomputed by SetFaults from the global fault set.
+	risk [][]bool
 }
 
 // NewOmniWAR returns an OmniWAR with the given total number of distance
@@ -55,6 +62,39 @@ func (a *OmniWAR) NumClasses() int { return a.classes }
 // MaxDeroutes returns M, the deroute budget.
 func (a *OmniWAR) MaxDeroutes() int { return a.classes - a.topo.NumDims() }
 
+// SetFaults makes candidate generation fault-aware. Dead minimal hops are
+// omitted; a deroute is offered only when both the lateral hop and the
+// aligning hop from the deroute target are alive, so every deroute still
+// guarantees a minimal completion of its dimension. On top of the §5.2
+// budget rule, voluntary (congestion-motivated) deroutes must leave
+// enough spare distance classes to cover the forced deroutes the fault
+// set could still demand: because OmniWAR visits dimensions in any order,
+// a dead aligning link can be invisible from the current router and only
+// surface hops later, so the reservation counts every unaligned dimension
+// in which any dead link touches the packet's destination digit (the
+// precomputed risk table) — not just the dead links adjacent to this
+// router. Without it, a packet could spend its classes dodging congestion
+// and then meet a dead aligning link with no budget left. Candidates
+// remain a subset of the fault-free set, so distance classes stay
+// acyclic.
+func (a *OmniWAR) SetFaults(fs *topology.FaultSet) {
+	a.faults = fs
+	a.risk = nil
+	if fs.Size() == 0 {
+		return
+	}
+	h := a.topo
+	a.risk = make([][]bool, h.NumDims())
+	for d, w := range h.Widths {
+		a.risk[d] = make([]bool, w)
+	}
+	for _, l := range fs.Links() {
+		d, _ := h.PortDim(l.RouterA, l.PortA)
+		a.risk[d][h.CoordDigit(l.RouterA, d)] = true
+		a.risk[d][h.CoordDigit(l.RouterB, d)] = true
+	}
+}
+
 // Meta implements route.Algorithm (Table 1 row).
 func (a *OmniWAR) Meta() route.Meta {
 	return route.Meta{
@@ -79,7 +119,24 @@ func (a *OmniWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	// Derouting is allowed only while the remaining distance classes
 	// exceed the remaining minimal hops (step 2 of §5.2): a deroute burns
 	// a class without reducing the minimal distance.
-	allowDeroute := a.classes-int(p.Hops) > int(minRem)
+	budget := a.classes - int(p.Hops) - int(minRem)
+	allowDeroute := budget > 0
+	fs := a.faults
+
+	// Under faults, count the unaligned dimensions in which the fault set
+	// could still force a deroute anywhere ahead — dead links touching the
+	// destination digit, whether or not they are adjacent to this router.
+	// Voluntary deroutes must leave that many classes in reserve (see
+	// SetFaults).
+	reserve := 0
+	if a.risk != nil {
+		for d := range h.Widths {
+			dstV := h.CoordDigit(dst, d)
+			if h.CoordDigit(r, d) != dstV && a.risk[d][dstV] {
+				reserve++
+			}
+		}
+	}
 
 	cands := ctx.Cands[:0]
 	for d, w := range h.Widths {
@@ -89,21 +146,38 @@ func (a *OmniWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 			continue // aligned dimension: no valid outputs (§5.2 step 3)
 		}
 		dim := int8(d)
-		cands = append(cands, route.Candidate{
-			Port:     h.DimPort(r, d, dstV),
-			Class:    next,
-			HopsLeft: minRem,
-			Dim:      dim,
-		})
+		minPort := h.DimPort(r, d, dstV)
+		minDead := fs.Dead(r, minPort)
+		if !minDead {
+			cands = append(cands, route.Candidate{
+				Port:     minPort,
+				Class:    next,
+				HopsLeft: minRem,
+				Dim:      dim,
+			})
+		}
 		if !allowDeroute || (a.noB2B && p.LastDerDim == dim) {
 			continue
+		}
+		if fs != nil && !minDead && budget <= reserve {
+			continue // reserve remaining classes for forced deroutes
 		}
 		for v := 0; v < w; v++ {
 			if v == own || v == dstV {
 				continue
 			}
+			port := h.DimPort(r, d, v)
+			if fs != nil {
+				if fs.Dead(r, port) {
+					continue
+				}
+				via := h.WithDigit(r, d, v)
+				if fs.Dead(via, h.DimPort(via, d, dstV)) {
+					continue
+				}
+			}
 			cands = append(cands, route.Candidate{
-				Port:     h.DimPort(r, d, v),
+				Port:     port,
 				Class:    next,
 				HopsLeft: minRem + 1,
 				Deroute:  true,

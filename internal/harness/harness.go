@@ -46,6 +46,8 @@ type Outcome struct {
 	Saturated bool   // point saturated: cancels higher points on the curve
 	Cycles    int64  // simulated cycles at the end of the run
 	Events    uint64 // kernel events executed (sim.Kernel.Executed)
+	Delivered uint64 // packets delivered over the run (fault observability)
+	Dropped   uint64 // packets lost to fault-induced drops
 	Value     any    // the measurement (facade-defined)
 }
 

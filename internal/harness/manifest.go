@@ -27,6 +27,8 @@ type JobRecord struct {
 	SimCycles    int64   `json:"sim_cycles"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	Delivered    uint64  `json:"delivered"`
+	Dropped      uint64  `json:"dropped,omitempty"`
 }
 
 // Manifest is the machine-readable record of one engine run: pool shape,
@@ -47,6 +49,14 @@ type Manifest struct {
 	TotalSimCycles int64   `json:"total_sim_cycles"`
 	TotalEvents    uint64  `json:"total_events"`
 	EventsPerSec   float64 `json:"events_per_sec"` // aggregate across the pool
+
+	// Faults records the injected link failures shared by every job of a
+	// faulted sweep ("rA.pA<->rB.pB" per link); empty for pristine runs.
+	// TotalDelivered / TotalDropped aggregate the per-job packet fates —
+	// the headline "how much survived" numbers of a resilience run.
+	Faults         []string `json:"faults,omitempty"`
+	TotalDelivered uint64   `json:"total_delivered"`
+	TotalDropped   uint64   `json:"total_dropped,omitempty"`
 
 	Jobs []JobRecord `json:"jobs"`
 }
@@ -74,8 +84,12 @@ func buildManifest(rr *RunResult, workers int, started time.Time, wall time.Dura
 			rec.SimCycles = jr.Outcome.Cycles
 			rec.Events = jr.Outcome.Events
 			rec.EventsPerSec = float64(jr.Outcome.Events) / math.Max(jr.wall.Seconds(), 1e-9)
+			rec.Delivered = jr.Outcome.Delivered
+			rec.Dropped = jr.Outcome.Dropped
 			m.TotalSimCycles += jr.Outcome.Cycles
 			m.TotalEvents += jr.Outcome.Events
+			m.TotalDelivered += jr.Outcome.Delivered
+			m.TotalDropped += jr.Outcome.Dropped
 		case jr.Err != nil:
 			m.Failed++
 			rec.Status = "failed"

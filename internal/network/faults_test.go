@@ -1,0 +1,100 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperx/internal/core"
+	"hyperx/internal/route"
+	"hyperx/internal/routing"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// TestFaultDropUnderDOR: a fault-oblivious algorithm whose only candidate
+// is a dead link must have its packets dropped and counted — never
+// panicked on — and the drop must recycle buffer credit so later packets
+// keep flowing.
+func TestFaultDropUnderDOR(t *testing.T) {
+	h := topology.MustHyperX([]int{4}, 2)
+	fs := topology.NewFaultSet()
+	if err := fs.Add(h, 0, h.DimPort(0, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	n := buildNet(t, h, routing.NewDOR(h), func(c *Config) { c.Faults = fs })
+	var drops int
+	n.OnDrop = func(p *route.Packet, _ sim.Time) {
+		drops++
+		if p.DstRouter != 3 {
+			t.Errorf("dropped packet bound for router %d, want 3", p.DstRouter)
+		}
+	}
+	// Several packets across the dead link, plus one on a live route.
+	for i := 0; i < 5; i++ {
+		n.Terminals[0].Send(n.NewPacket(0, 6, 4)) // router 0 -> 3: dead under DOR
+	}
+	n.Terminals[0].Send(n.NewPacket(0, 4, 4)) // router 0 -> 2: alive
+	n.K.Run(0)
+	if drops != 5 || n.DroppedPackets != 5 || n.DroppedFlits != 20 {
+		t.Errorf("drops=%d DroppedPackets=%d DroppedFlits=%d, want 5/5/20",
+			drops, n.DroppedPackets, n.DroppedFlits)
+	}
+	if n.DeliveredPackets != 1 {
+		t.Errorf("live route delivered %d packets, want 1", n.DeliveredPackets)
+	}
+}
+
+// TestFaultedDimWARDeliversEverything: DimWAR with the fault set wired in
+// routes every terminal pair around the dead links — zero drops on a
+// connected surviving network.
+func TestFaultedDimWARDeliversEverything(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 1)
+	fs, err := topology.RandomConnectedFaults(h, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := core.NewDimWAR(h)
+	alg.SetFaults(fs)
+	n := buildNet(t, h, alg, func(c *Config) { c.Faults = fs })
+	sent := 0
+	for s := 0; s < h.NumTerminals(); s++ {
+		for d := 0; d < h.NumTerminals(); d++ {
+			if s == d {
+				continue
+			}
+			n.Terminals[s].Send(n.NewPacket(s, d, 2))
+			sent++
+		}
+	}
+	n.K.Run(0)
+	if n.DroppedPackets != 0 {
+		t.Errorf("DimWAR dropped %d packets on a connected fault set", n.DroppedPackets)
+	}
+	if int(n.DeliveredPackets) != sent {
+		t.Errorf("delivered %d of %d", n.DeliveredPackets, sent)
+	}
+}
+
+// TestEmptyFaultSetBitIdentical: a network built with an empty (non-nil)
+// FaultSet must replay the fault-free event stream exactly — same
+// delivery times, same event count.
+func TestEmptyFaultSetBitIdentical(t *testing.T) {
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	run := func(fs *topology.FaultSet) ([]sim.Time, uint64) {
+		n := buildNet(t, h, core.NewDimWAR(h), func(c *Config) { c.Faults = fs })
+		var times []sim.Time
+		n.OnDeliver = func(p *route.Packet, at sim.Time) { times = append(times, at) }
+		for s := 0; s < h.NumTerminals(); s++ {
+			d := (s + h.NumTerminals()/2 + 1) % h.NumTerminals()
+			n.Terminals[s].Send(n.NewPacket(s, d, 3))
+			n.Terminals[s].Send(n.NewPacket(s, (d+5)%h.NumTerminals(), 1))
+		}
+		n.K.Run(0)
+		return times, n.K.Executed()
+	}
+	tNil, eNil := run(nil)
+	tEmpty, eEmpty := run(topology.NewFaultSet())
+	if !reflect.DeepEqual(tNil, tEmpty) || eNil != eEmpty {
+		t.Errorf("empty FaultSet perturbed the simulation: %d vs %d events", eNil, eEmpty)
+	}
+}

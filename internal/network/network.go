@@ -56,6 +56,13 @@ type Config struct {
 	// decision before re-evaluating it (default 100 cycles).
 	ReRouteInterval sim.Time
 
+	// Faults is the set of failed router-to-router links. A dead output
+	// port holds zero credits and is excluded from arbitration, and a
+	// packet whose algorithm offers no live candidate is dropped (and
+	// counted) instead of panicking. Nil or empty means a pristine
+	// network, bit-identical to builds that predate fault support.
+	Faults *topology.FaultSet
+
 	Seed uint64
 }
 
@@ -133,6 +140,13 @@ type Network struct {
 	// and hop statistics.
 	OnHop func(p *route.Packet, router, port int, vc int8)
 
+	// OnDrop, if set, observes every packet discarded because routing
+	// found no live candidate (fault-induced detect-and-drop), before the
+	// packet is recycled.
+	OnDrop func(p *route.Packet, at sim.Time)
+
+	hasFaults bool
+
 	pool    []*route.Packet
 	nextPkt uint64
 
@@ -141,6 +155,8 @@ type Network struct {
 	InjectedFlits    uint64
 	DeliveredPackets uint64
 	DeliveredFlits   uint64
+	DroppedPackets   uint64
+	DroppedFlits     uint64
 }
 
 // New assembles a network over a fresh or shared kernel.
@@ -157,7 +173,7 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	if cfg.MaxPktFlits > cfg.BufDepth {
 		return nil, fmt.Errorf("network: MaxPktFlits %d exceeds BufDepth %d", cfg.MaxPktFlits, cfg.BufDepth)
 	}
-	n := &Network{K: k, Cfg: cfg}
+	n := &Network{K: k, Cfg: cfg, hasFaults: cfg.Faults.Size() > 0}
 
 	// Partition physical VCs evenly among resource classes; spare VCs
 	// widen the earlier classes (head-of-line-blocking reduction,

@@ -75,6 +75,8 @@ type outputPort struct {
 
 	busyAccum sim.Time // total cycles this channel has carried flits
 	grants    uint64   // packets granted through this output
+
+	dead bool // link failed: zero credits, excluded from routing and arbitration
 }
 
 // Router is the combined input/output-queued router model.
@@ -116,6 +118,13 @@ func newRouter(n *Network, id int, rs *rng.Source) *Router {
 			ip.upLat = n.Cfg.RouterChanLat
 			op.peerRouter, op.peerPort = pr, pp
 			op.lat = n.Cfg.RouterChanLat
+			if n.Cfg.Faults.Dead(id, p) {
+				// Failed link: the output never accumulates credits, so
+				// arbitration can never grant it even if a stale decision
+				// lands here.
+				op.dead = true
+				continue
+			}
 			for v := range op.credits {
 				op.credits[v] = n.Cfg.BufDepth
 			}
@@ -159,6 +168,11 @@ func (v *view) PortLoad(port int) int {
 	return total + o.queuedFlits + r.residual(o)
 }
 
+// PortAlive implements route.View.
+func (v *view) PortAlive(port int) bool {
+	return !(*Router)(v).out[port].dead
+}
+
 func (r *Router) residual(o *outputPort) int {
 	if d := o.busyUntil - r.net.K.Now(); d > 0 {
 		return int(d)
@@ -192,7 +206,29 @@ func (r *Router) routeHead(port int, vc int8) {
 		ctx.View = (*view)(r)
 		cands := r.net.Cfg.Alg.Route(ctx, p)
 		ctx.Cands = cands // keep the grown buffer for reuse
+		if r.net.hasFaults {
+			// Drop candidates on dead ports in place. Fault-aware
+			// algorithms never emit them; this is the safety net for the
+			// fault-oblivious baselines (DOR, VAL, UGAL, ...), whose
+			// dimension-ordered hops cannot route around a failed link.
+			kept := cands[:0]
+			for _, c := range cands {
+				if !r.out[c.Port].dead {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+			ctx.Cands = cands
+		}
 		if len(cands) == 0 {
+			if r.net.hasFaults {
+				// Detect-and-drop: on a faulted network a packet with no
+				// live candidate is discarded and counted rather than
+				// wedging the VC (or panicking). See DESIGN notes on
+				// graceful degradation semantics.
+				r.drop(port, vc)
+				return
+			}
 			panic(fmt.Sprintf("network: %s produced no route at router %d for packet %d->%d (hops=%d class=%d phase=%d inter=%d)",
 				r.net.Cfg.Alg.Name(), r.id, p.Src, p.Dst, p.Hops, p.Class, p.Phase, p.Inter))
 		}
@@ -234,6 +270,35 @@ func (r *Router) unregister(w *waiter) {
 		}
 	}
 	o.queuedFlits -= w.pkt.Len
+}
+
+// drop discards the head packet of input (port, vc) because routing
+// found no live candidate: the packet is counted, its buffer space is
+// freed (the credit crosses the reverse channel as usual), and the next
+// packet of the VC is routed. Only reachable on faulted networks.
+func (r *Router) drop(port int, vc int8) {
+	iv := &r.in[port].vcs[vc]
+	p := iv.pop()
+	n := r.net
+	n.DroppedPackets++
+	n.DroppedFlits += uint64(p.Len)
+	if n.OnDrop != nil {
+		n.OnDrop(p, n.K.Now())
+	}
+	flits := p.Len
+	ip := &r.in[port]
+	if ip.fromTerminal >= 0 {
+		term := n.Terminals[ip.fromTerminal]
+		n.K.At(n.K.Now()+ip.upLat, func() { term.creditArrive(vc, flits) })
+	} else {
+		up := n.Routers[ip.peerRouter]
+		upPort := ip.peerPort
+		n.K.At(n.K.Now()+ip.upLat, func() { up.creditArrive(upPort, vc, flits) })
+	}
+	n.freePacket(p)
+	if !iv.empty() {
+		r.routeHead(port, vc)
+	}
 }
 
 // pickVC selects the physical VC for a grant: the most-credited VC of the

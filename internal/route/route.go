@@ -78,6 +78,10 @@ type View interface {
 	// port across all VCs (used by source-adaptive algorithms that weigh
 	// whole ports).
 	PortLoad(port int) int
+	// PortAlive reports whether the output port's link is usable. A dead
+	// (faulted) port holds zero credits and is excluded from arbitration;
+	// algorithms and the weight selection must never choose it.
+	PortAlive(port int) bool
 }
 
 // Ctx is the per-decision routing context handed to Algorithm.Route.
@@ -132,13 +136,17 @@ type Algorithm interface {
 // degenerates to pure hop count and minimal paths win — without it, any
 // transient flit on the minimal path would divert packets onto idle
 // deroutes. Ties prefer fewer hops, then break uniformly at random so
-// equal-cost paths load-balance.
+// equal-cost paths load-balance. Candidates on dead (faulted) ports are
+// never selected; if every candidate is dead the result is -1.
 func SelectMinWeight(ctx *Ctx, cands []Candidate) int {
 	best := -1
 	bestW, bestH := int64(0), int8(0)
 	nTies := 0
 	for i := range cands {
 		c := &cands[i]
+		if !ctx.View.PortAlive(c.Port) {
+			continue
+		}
 		var load int
 		if ctx.ClassSense {
 			load = ctx.View.ClassLoad(c.Port, c.Class)

@@ -6,14 +6,17 @@ import (
 	"hyperx/internal/rng"
 )
 
-// tableView returns fixed loads per (port, class-agnostic).
+// tableView returns fixed loads per (port, class-agnostic); ports listed
+// in dead are reported faulted.
 type tableView struct {
 	port  map[int]int
 	class map[[2]int]int
+	dead  map[int]bool
 }
 
 func (v tableView) PortLoad(p int) int          { return v.port[p] }
 func (v tableView) ClassLoad(p int, c int8) int { return v.class[[2]int{p, int(c)}] }
+func (v tableView) PortAlive(p int) bool        { return !v.dead[p] }
 
 func ctxWith(v View, classSense bool) *Ctx {
 	return &Ctx{View: v, RNG: rng.New(1), ClassSense: classSense}

@@ -12,10 +12,12 @@ import (
 	"hyperx/internal/topology"
 )
 
-// StubView is a congestion view with settable per-(router,port) loads.
+// StubView is a congestion view with settable per-(router,port) loads
+// and an optional fault set supplying port liveness.
 type StubView struct {
-	Loads map[[2]int]int // (router, port) -> load
-	r     int
+	Loads  map[[2]int]int // (router, port) -> load
+	Faults *topology.FaultSet
+	r      int
 }
 
 // ClassLoad implements route.View.
@@ -23,6 +25,13 @@ func (v *StubView) ClassLoad(port int, _ int8) int { return v.Loads[[2]int{v.r, 
 
 // PortLoad implements route.View.
 func (v *StubView) PortLoad(port int) int { return v.Loads[[2]int{v.r, port}] }
+
+// PortAlive implements route.View.
+func (v *StubView) PortAlive(port int) bool { return !v.Faults.Dead(v.r, port) }
+
+// SetRouter positions the view at a router, for tests that call an
+// algorithm's Route directly instead of going through Walk.
+func (v *StubView) SetRouter(r int) { v.r = r }
 
 // Hop records one step of a walk.
 type Hop struct {
@@ -54,7 +63,15 @@ func Walk(topo topology.Topology, alg route.Algorithm, srcRouter, dstRouter, max
 			return hops, p, fmt.Errorf("no candidates at router %d (hops=%d class=%d phase=%d inter=%d)",
 				cur, p.Hops, p.Class, p.Phase, p.Inter)
 		}
-		c := cands[route.SelectMinWeight(ctx, cands)]
+		sel := route.SelectMinWeight(ctx, cands)
+		if sel < 0 {
+			return hops, p, fmt.Errorf("every candidate at router %d is on a dead port (hops=%d class=%d)",
+				cur, p.Hops, p.Class)
+		}
+		c := cands[sel]
+		if view.Faults.Dead(cur, c.Port) {
+			return hops, p, fmt.Errorf("algorithm chose dead link at router %d port %d", cur, c.Port)
+		}
 		if topo.PortKind(cur, c.Port) != topology.Local && topo.PortKind(cur, c.Port) != topology.Global {
 			return hops, p, fmt.Errorf("candidate port %d at router %d is not a router link", c.Port, cur)
 		}

@@ -3,6 +3,14 @@
 // prior-work DAL algorithm of Section 4.2, minimal-adaptive routing, and
 // the routing algorithms of the comparison topologies (fat tree and
 // Dragonfly) used by the motivation experiments.
+//
+// Fault semantics: the dimension-ordered baselines (DOR, VAL, UGAL,
+// UGAL+, DAL) have exactly one admissible hop per dimension step, so they
+// cannot route around a failed link; on a faulted network the router's
+// detect-and-drop path discards (and counts) any packet whose next
+// dimension-ordered hop is dead. MinAD is fault-aware (SetFaults) to the
+// extent its minimal candidate set allows. Only the paper's incremental
+// adaptive algorithms (internal/core) degrade gracefully by derouting.
 package routing
 
 import (

@@ -11,11 +11,18 @@ import (
 // Like all minimal algorithms it cannot load-balance adversarial traffic
 // (Section 2.2) — included as an ablation baseline.
 type MinAD struct {
-	topo *topology.HyperX
+	topo   *topology.HyperX
+	faults *topology.FaultSet
 }
 
 // NewMinAD returns a MinAD instance for the given HyperX.
 func NewMinAD(h *topology.HyperX) *MinAD { return &MinAD{topo: h} }
+
+// SetFaults omits dead minimal hops from candidate generation. MinAD has
+// no deroutes, so it tolerates a fault only while another unaligned
+// dimension offers a live minimal hop; a packet whose every remaining
+// minimal hop is dead is dropped by the router (detect-and-drop).
+func (a *MinAD) SetFaults(fs *topology.FaultSet) { a.faults = fs }
 
 // Name implements route.Algorithm.
 func (a *MinAD) Name() string { return "MinAD" }
@@ -47,8 +54,12 @@ func (a *MinAD) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 		if own == dstV {
 			continue
 		}
+		port := h.DimPort(r, d, dstV)
+		if a.faults.Dead(r, port) {
+			continue
+		}
 		cands = append(cands, route.Candidate{
-			Port:     h.DimPort(r, d, dstV),
+			Port:     port,
 			Class:    p.Hops, // distance class = hop index
 			HopsLeft: minRem,
 			Dim:      int8(d),

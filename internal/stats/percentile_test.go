@@ -1,0 +1,40 @@
+package stats
+
+import "testing"
+
+// TestPercentileNearestRank: table-driven check of the nearest-rank
+// convention sorted[ceil(q/100*n)-1] across the sample counts where the
+// old sorted[n*q/100] indexing went wrong (n=100 read the maximum as P99;
+// n=1 was fine only by clamping).
+func TestPercentileNearestRank(t *testing.T) {
+	mk := func(n int) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(i + 1) // value == rank, so expectations read directly
+		}
+		return s
+	}
+	cases := []struct {
+		n    int
+		q    float64
+		want float64
+	}{
+		{1, 50, 1}, {1, 99, 1}, {1, 100, 1},
+		{10, 50, 5}, {10, 99, 10}, {10, 100, 10},
+		{99, 50, 50}, {99, 99, 99},
+		{100, 50, 50}, {100, 99, 99}, {100, 100, 100},
+		{101, 50, 51}, {101, 99, 100}, {101, 100, 101},
+	}
+	for _, c := range cases {
+		if got := Percentile(mk(c.n), c.q); got != c.want {
+			t.Errorf("Percentile(n=%d, q=%g) = %g, want %g", c.n, c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Errorf("empty slice: got %g, want 0", got)
+	}
+	// q=0 clamps to the minimum rather than indexing out of range.
+	if got := Percentile(mk(10), 0); got != 1 {
+		t.Errorf("q=0: got %g, want 1", got)
+	}
+}

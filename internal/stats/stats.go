@@ -37,6 +37,7 @@
 package stats
 
 import (
+	"math"
 	"sort"
 
 	"hyperx/internal/route"
@@ -51,6 +52,7 @@ type Collector struct {
 
 	born      int
 	delivered int
+	dropped   int // measured packets discarded by fault-induced drops
 
 	lat       []int64 // latency of each measured packet, birth -> delivery
 	firstSum  int64   // latency sum, packets born in the first half
@@ -95,14 +97,28 @@ func (c *Collector) OnDeliver(p *route.Packet, at sim.Time) {
 	}
 }
 
-// Done reports whether every measured packet has been delivered.
-func (c *Collector) Done() bool { return c.born > 0 && c.delivered >= c.born }
+// OnDrop observes a packet discarded by the network's detect-and-drop
+// path (fault-induced); signature matches network.Network.OnDrop. Dropped
+// measured packets resolve the drain condition — they will never deliver
+// — but contribute neither latency samples nor accepted throughput.
+func (c *Collector) OnDrop(p *route.Packet, _ sim.Time) {
+	if p.Birth >= c.Start && p.Birth < c.End {
+		c.dropped++
+	}
+}
+
+// Done reports whether every measured packet has been resolved
+// (delivered, or dropped on a faulted network).
+func (c *Collector) Done() bool { return c.born > 0 && c.delivered+c.dropped >= c.born }
 
 // Born returns the number of packets born in the window.
 func (c *Collector) Born() int { return c.born }
 
 // Delivered returns the number of measured packets delivered so far.
 func (c *Collector) Delivered() int { return c.delivered }
+
+// Dropped returns the number of measured packets dropped so far.
+func (c *Collector) Dropped() int { return c.dropped }
 
 // Result summarizes one steady-state measurement.
 type Result struct {
@@ -112,6 +128,7 @@ type Result struct {
 	P99      float64
 	Max      int64
 	Accepted float64 // flits/cycle/terminal with delivery inside the window
+	Dropped  int     // measured packets lost to fault-induced drops
 
 	// HalfMeans are the mean latencies of packets born in the first and
 	// second halves of the window — the saturation growth signal.
@@ -124,8 +141,29 @@ type Result struct {
 // latencyCap (cycles) declares saturation outright when exceeded by the
 // mean, and growth between window halves beyond 50% (plus slack) does
 // the same: a stable network's latency does not trend inside the window.
+// Percentile returns the q-th percentile of sorted (ascending) under the
+// nearest-rank convention: the smallest element such that at least q% of
+// the samples are at or below it, i.e. sorted[ceil(q/100*n)-1]. For
+// n=100 this gives P99 = sorted[98] — the naive sorted[n*99/100] indexing
+// returns sorted[99], the maximum, an off-by-one that overstates tail
+// latency on every curve.
+func Percentile(sorted []int64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return float64(sorted[idx])
+}
+
 func (c *Collector) Summarize(terminals int, latencyCap float64) Result {
-	r := Result{Samples: len(c.lat)}
+	r := Result{Samples: len(c.lat), Dropped: c.dropped}
 	window := float64(c.End - c.Start)
 	r.Accepted = float64(c.windowFlits) / (window * float64(terminals))
 	if len(c.lat) == 0 {
@@ -144,15 +182,17 @@ func (c *Collector) Summarize(terminals int, latencyCap float64) Result {
 	r.Mean = float64(sum) / float64(len(c.lat))
 	sorted := append([]int64(nil), c.lat...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	r.P50 = float64(sorted[len(sorted)*50/100])
-	r.P99 = float64(sorted[len(sorted)*99/100])
+	r.P50 = Percentile(sorted, 50)
+	r.P99 = Percentile(sorted, 99)
 	if c.firstN > 0 {
 		r.HalfMeans[0] = float64(c.firstSum) / float64(c.firstN)
 	}
 	if c.secondN > 0 {
 		r.HalfMeans[1] = float64(c.secondSum) / float64(c.secondN)
 	}
-	undelivered := c.born - c.delivered
+	// Drops are loss, not congestion: they resolve the drain condition and
+	// must not masquerade as the could-not-drain saturation signal.
+	undelivered := c.born - c.delivered - c.dropped
 	switch {
 	case r.Mean > latencyCap:
 		r.Saturated = true

@@ -1,0 +1,222 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperx/internal/rng"
+)
+
+// FaultSet is a set of failed router-to-router links. A link failure is
+// always bidirectional — both directed halves of the cable are dead — and
+// terminal links never fail (a dead terminal link is an endpoint failure,
+// not a network fault, and is out of scope for the routing question this
+// model answers).
+//
+// A FaultSet is static for the lifetime of a simulation, mirroring the
+// operational reality the fault-tolerance literature assumes: faults are
+// detected and disseminated out of band, and routing reconverges against
+// a fixed fault picture between failure events. Fault-aware algorithms
+// therefore receive the FaultSet at construction time, while the router
+// model consults it only to mark output ports dead.
+//
+// The zero value and a nil *FaultSet are both valid, empty sets; a
+// network built against either is bit-identical to a fault-free build.
+type FaultSet struct {
+	dead  map[[2]int]struct{} // (router, port) directed halves
+	links []FailedLink        // canonical bidirectional records
+}
+
+// FailedLink is the canonical record of one failed bidirectional link,
+// oriented so that RouterA < RouterB.
+type FailedLink struct {
+	RouterA, PortA int
+	RouterB, PortB int
+}
+
+// String renders the link as "rA.pA<->rB.pB".
+func (l FailedLink) String() string {
+	return fmt.Sprintf("r%d.p%d<->r%d.p%d", l.RouterA, l.PortA, l.RouterB, l.PortB)
+}
+
+// NewFaultSet returns an empty fault set.
+func NewFaultSet() *FaultSet { return &FaultSet{} }
+
+// Add fails the bidirectional link at (r, p), which must be a router-to-
+// router port of t. Adding an already-failed link is a no-op.
+func (fs *FaultSet) Add(t Topology, r, p int) error {
+	switch t.PortKind(r, p) {
+	case Local, Global:
+	default:
+		return fmt.Errorf("faults: router %d port %d is not a router-to-router link", r, p)
+	}
+	pr, pp := t.Peer(r, p)
+	if fs.Dead(r, p) {
+		return nil
+	}
+	if fs.dead == nil {
+		fs.dead = make(map[[2]int]struct{})
+	}
+	fs.dead[[2]int{r, p}] = struct{}{}
+	fs.dead[[2]int{pr, pp}] = struct{}{}
+	l := FailedLink{RouterA: r, PortA: p, RouterB: pr, PortB: pp}
+	if pr < r {
+		l = FailedLink{RouterA: pr, PortA: pp, RouterB: r, PortB: p}
+	}
+	fs.links = append(fs.links, l)
+	return nil
+}
+
+// Dead reports whether the link out of router r through port p has
+// failed. It is nil-receiver safe and returns false for any port kind,
+// so callers need not distinguish pristine from faulted builds.
+func (fs *FaultSet) Dead(r, p int) bool {
+	if fs == nil || fs.dead == nil {
+		return false
+	}
+	_, ok := fs.dead[[2]int{r, p}]
+	return ok
+}
+
+// Size returns the number of failed bidirectional links.
+func (fs *FaultSet) Size() int {
+	if fs == nil {
+		return 0
+	}
+	return len(fs.links)
+}
+
+// Links returns the failed links in canonical ascending order.
+func (fs *FaultSet) Links() []FailedLink {
+	if fs == nil {
+		return nil
+	}
+	out := append([]FailedLink(nil), fs.links...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RouterA != out[j].RouterA {
+			return out[i].RouterA < out[j].RouterA
+		}
+		return out[i].PortA < out[j].PortA
+	})
+	return out
+}
+
+// Strings renders Links for manifests and logs.
+func (fs *FaultSet) Strings() []string {
+	ls := fs.Links()
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.String()
+	}
+	return out
+}
+
+// allLinks enumerates every bidirectional router-to-router link of t
+// exactly once, in canonical (router, port) order.
+func allLinks(t Topology) []FailedLink {
+	var out []FailedLink
+	for r := 0; r < t.NumRouters(); r++ {
+		for p := 0; p < t.NumPorts(); p++ {
+			switch t.PortKind(r, p) {
+			case Local, Global:
+				pr, pp := t.Peer(r, p)
+				if pr > r || (pr == r && pp > p) {
+					out = append(out, FailedLink{RouterA: r, PortA: p, RouterB: pr, PortB: pp})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomFaults fails k distinct router-to-router links of t chosen by a
+// deterministic shuffle seeded with seed: the same (topology, k, seed)
+// always yields the same fault set, on any host.
+func RandomFaults(t Topology, k int, seed uint64) (*FaultSet, error) {
+	links := allLinks(t)
+	if k < 0 || k > len(links) {
+		return nil, fmt.Errorf("faults: k=%d out of range (topology has %d links)", k, len(links))
+	}
+	perm := make([]int, len(links))
+	rng.New(seed).Perm(perm)
+	fs := NewFaultSet()
+	for i := 0; i < k; i++ {
+		l := links[perm[i]]
+		if err := fs.Add(t, l.RouterA, l.PortA); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// RandomConnectedFaults draws deterministic random fault sets of k links,
+// re-deriving the seed until the surviving network is connected (almost
+// always the first draw for small k). The resampling sequence is itself
+// deterministic, so the result is a pure function of (topology, k, seed).
+func RandomConnectedFaults(t Topology, k int, seed uint64) (*FaultSet, error) {
+	const maxAttempts = 64
+	for a := 0; a < maxAttempts; a++ {
+		fs, err := RandomFaults(t, k, rng.DeriveSeed(seed, uint64(a)))
+		if err != nil {
+			return nil, err
+		}
+		if Connected(t, fs) {
+			return fs, nil
+		}
+	}
+	return nil, fmt.Errorf("faults: no connected fault set of %d links found in %d attempts", k, maxAttempts)
+}
+
+// TargetedFaults fails the first k router-to-router links of the given
+// router — the "failing switch" scenario where faults cluster instead of
+// scattering. It is deterministic by construction.
+func TargetedFaults(t Topology, router, k int) (*FaultSet, error) {
+	fs := NewFaultSet()
+	added := 0
+	for p := 0; p < t.NumPorts() && added < k; p++ {
+		switch t.PortKind(router, p) {
+		case Local, Global:
+			if err := fs.Add(t, router, p); err != nil {
+				return nil, err
+			}
+			added++
+		}
+	}
+	if added < k {
+		return nil, fmt.Errorf("faults: router %d has only %d router links, need %d", router, added, k)
+	}
+	return fs, nil
+}
+
+// Connected reports whether every router of t can reach every other over
+// links that are not in fs (BFS from router 0).
+func Connected(t Topology, fs *FaultSet) bool {
+	nr := t.NumRouters()
+	if nr == 0 {
+		return true
+	}
+	seen := make([]bool, nr)
+	queue := make([]int, 0, nr)
+	seen[0] = true
+	queue = append(queue, 0)
+	visited := 1
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for p := 0; p < t.NumPorts(); p++ {
+			switch t.PortKind(r, p) {
+			case Local, Global:
+				if fs.Dead(r, p) {
+					continue
+				}
+				pr, _ := t.Peer(r, p)
+				if !seen[pr] {
+					seen[pr] = true
+					visited++
+					queue = append(queue, pr)
+				}
+			}
+		}
+	}
+	return visited == nr
+}

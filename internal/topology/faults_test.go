@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFaultSetAddBothDirections(t *testing.T) {
+	h := MustHyperX([]int{3, 3}, 1)
+	fs := NewFaultSet()
+	r := h.RouterAt([]int{0, 0})
+	p := h.DimPort(r, 0, 1) // link (0,0) <-> (1,0)
+	if err := fs.Add(h, r, p); err != nil {
+		t.Fatal(err)
+	}
+	pr, pp := h.Peer(r, p)
+	if !fs.Dead(r, p) || !fs.Dead(pr, pp) {
+		t.Error("link failure must kill both directed halves")
+	}
+	if fs.Size() != 1 {
+		t.Errorf("size = %d, want 1", fs.Size())
+	}
+	// Adding either half again is a no-op.
+	if err := fs.Add(h, pr, pp); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 1 {
+		t.Errorf("size after duplicate add = %d, want 1", fs.Size())
+	}
+	// Terminal links never fail.
+	if err := fs.Add(h, r, 0); err == nil {
+		t.Error("failing a terminal port must error")
+	}
+}
+
+func TestFaultSetNilSafe(t *testing.T) {
+	var fs *FaultSet
+	if fs.Dead(0, 0) || fs.Size() != 0 || fs.Links() != nil {
+		t.Error("nil FaultSet must behave as empty")
+	}
+	if len(fs.Strings()) != 0 {
+		t.Error("nil FaultSet Strings must be empty")
+	}
+	empty := NewFaultSet()
+	if empty.Dead(3, 4) || empty.Size() != 0 {
+		t.Error("empty FaultSet must report nothing dead")
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	h := MustHyperX([]int{4, 4}, 2)
+	a, err := RandomFaults(h, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomFaults(h, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Strings(), b.Strings()) {
+		t.Error("same (k, seed) must yield the same fault set")
+	}
+	if a.Size() != 5 {
+		t.Errorf("size = %d, want 5", a.Size())
+	}
+	c, err := RandomFaults(h, 5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Strings(), c.Strings()) {
+		t.Error("different seeds drew identical fault sets (vanishingly unlikely)")
+	}
+	if _, err := RandomFaults(h, 10_000, 1); err == nil {
+		t.Error("k beyond the link count must error")
+	}
+}
+
+func TestRandomConnectedFaultsStaysConnected(t *testing.T) {
+	h := MustHyperX([]int{3, 3}, 1)
+	for seed := uint64(1); seed <= 8; seed++ {
+		fs, err := RandomConnectedFaults(h, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Size() != 3 {
+			t.Fatalf("seed %d: size %d", seed, fs.Size())
+		}
+		if !Connected(h, fs) {
+			t.Errorf("seed %d: surviving network disconnected", seed)
+		}
+	}
+}
+
+func TestTargetedFaults(t *testing.T) {
+	h := MustHyperX([]int{3, 3}, 1)
+	fs, err := TargetedFaults(h, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 3 {
+		t.Fatalf("size = %d, want 3", fs.Size())
+	}
+	for _, l := range fs.Links() {
+		if l.RouterA != 4 && l.RouterB != 4 {
+			t.Errorf("link %v does not touch the target router", l)
+		}
+	}
+	// A 3x3 router has 4 router links; asking for 5 must fail.
+	if _, err := TargetedFaults(h, 4, 5); err == nil {
+		t.Error("k beyond the router degree must error")
+	}
+}
+
+func TestConnectedDetectsIsolation(t *testing.T) {
+	h := MustHyperX([]int{3, 3}, 1)
+	if !Connected(h, nil) {
+		t.Fatal("pristine network must be connected")
+	}
+	// Fail every router link of one router: it is now unreachable.
+	fs, err := TargetedFaults(h, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Connected(h, fs) {
+		t.Error("isolated router not detected")
+	}
+}

@@ -51,8 +51,16 @@ type Generator struct {
 	// OnBirth, if set, observes every generated packet (for stats).
 	OnBirth func(src, dst, flits int, at sim.Time)
 
+	// SelfRedirects counts packets whose pattern mapped a source onto
+	// itself and that were redirected to the next terminal. Random
+	// patterns re-draw internally so this stays zero for them; only the
+	// fixed points of deterministic permutation patterns (e.g. a tornado
+	// shift on a width-1 dimension) land here.
+	SelfRedirects uint64
+
 	stopped bool
 	streams []*rng.Source
+	carry   []float64 // per-terminal fractional-cycle remainder of the gap sequence
 }
 
 // Start begins injection on every terminal. The first packet of each
@@ -65,6 +73,7 @@ func (g *Generator) Start(seed uint64) {
 	master := rng.New(seed ^ 0xdeadbeefcafef00d)
 	n := len(g.Net.Terminals)
 	g.streams = make([]*rng.Source, n)
+	g.carry = make([]float64, n)
 	for t := 0; t < n; t++ {
 		g.streams[t] = master.Derive(uint64(t))
 		g.scheduleNext(t, g.initialGap(t))
@@ -79,7 +88,10 @@ func (g *Generator) Stopped() bool { return g.stopped }
 
 func (g *Generator) initialGap(t int) sim.Time {
 	mean := g.Sizes.Mean() / g.Load
-	return sim.Time(g.streams[t].Float64() * mean)
+	exact := g.streams[t].Float64() * mean
+	gap := sim.Time(exact)
+	g.carry[t] = exact - float64(gap)
+	return gap
 }
 
 func (g *Generator) scheduleNext(t int, gap sim.Time) {
@@ -94,7 +106,10 @@ func (g *Generator) inject(t int) {
 	size := g.Sizes.Draw(rs)
 	dst := g.Pattern.Dest(t, rs)
 	if dst == t {
-		// Patterns avoid self-sends structurally; guard anyway.
+		// A deterministic permutation pattern can map a degenerate source
+		// onto itself; redirect to the next terminal and count it rather
+		// than silently rewriting the traffic matrix.
+		g.SelfRedirects++
 		dst = (t + 1) % len(g.Net.Terminals)
 	}
 	p := g.Net.NewPacket(t, dst, size)
@@ -103,10 +118,14 @@ func (g *Generator) inject(t int) {
 	}
 	g.Net.Terminals[t].Send(p)
 	// Mean gap of size/Load cycles keeps the long-run flit rate at Load.
-	gap := sim.Time(rs.Exponential(float64(size) / g.Load))
-	if gap < 1 {
-		gap = 1
-	}
+	// Truncating each exponential draw to whole cycles shaves an expected
+	// half cycle per packet, and flooring the result at 1 inflates the
+	// short-gap tail — together a load-dependent bias of several percent.
+	// Instead carry the fractional remainder into the next draw, so each
+	// terminal's integer gap sequence sums to the exact exponential one.
+	exact := rs.Exponential(float64(size)/g.Load) + g.carry[t]
+	gap := sim.Time(exact)
+	g.carry[t] = exact - float64(gap)
 	g.scheduleNext(t, gap)
 }
 

@@ -53,6 +53,10 @@ func (u UniformRandom) Dest(src int, rs *rng.Source) int {
 // BitComplement (BC) sends every packet to the complement terminal. For a
 // power-of-two terminal count this is the bitwise complement; in general
 // it is the index-reversal N-1-src, which is identical for powers of two.
+// For odd N the middle terminal is its own complement; it re-draws a
+// uniform non-self destination instead of self-sending (when rs is nil —
+// pattern-only unit tests — the degenerate index is returned as-is and
+// the generator's counted redirect guard applies).
 type BitComplement struct {
 	N int
 }
@@ -61,8 +65,15 @@ type BitComplement struct {
 func (b BitComplement) Name() string { return "BC" }
 
 // Dest implements Pattern.
-func (b BitComplement) Dest(src int, _ *rng.Source) int {
-	return b.N - 1 - src
+func (b BitComplement) Dest(src int, rs *rng.Source) int {
+	d := b.N - 1 - src
+	if d == src && rs != nil && b.N > 1 {
+		d = rs.Intn(b.N - 1)
+		if d >= src {
+			d++
+		}
+	}
+	return d
 }
 
 // comp returns the complement coordinate within a dimension of width w.
@@ -83,18 +94,31 @@ type URB struct {
 func (u URB) Name() string { return fmt.Sprintf("URB%c", 'x'+rune(u.Dim)) }
 
 // Dest implements Pattern.
+//
+// With an odd width in the target dimension its middle coordinate is its
+// own complement, so the uniform draws can land on the source itself;
+// such draws are retried (bounded, then a deterministic non-self
+// fallback). Even-width instances never hit the retry, so their draw
+// sequence — and thus every existing even-width result — is unchanged.
 func (u URB) Dest(src int, rs *rng.Source) int {
 	h := u.Topo
 	srcRouter := src / h.Terms
-	dst := srcRouter
-	for d, w := range h.Widths {
-		if d == u.Dim {
-			dst = h.WithDigit(dst, d, comp(h.CoordDigit(srcRouter, d), w))
-		} else {
-			dst = h.WithDigit(dst, d, rs.Intn(w))
+	for try := 0; try < 8; try++ {
+		dst := srcRouter
+		for d, w := range h.Widths {
+			if d == u.Dim {
+				dst = h.WithDigit(dst, d, comp(h.CoordDigit(srcRouter, d), w))
+			} else {
+				dst = h.WithDigit(dst, d, rs.Intn(w))
+			}
+		}
+		if t := dst*h.Terms + rs.Intn(h.Terms); t != src {
+			return t
 		}
 	}
-	return dst*h.Terms + rs.Intn(h.Terms)
+	// Only reachable when every non-target dimension has width 1 and
+	// Terms == 1 — a degenerate topology; fall back deterministically.
+	return (src + 1) % h.NumTerminals()
 }
 
 // Swap2 (S2, Table 3): even terminals send to the complement router in

@@ -25,6 +25,20 @@ type SweepOpts struct {
 	Progress func(line string)
 }
 
+// stampFaults records the fault set a Config implies on the manifest, so
+// every result file names the exact links that were dead while it was
+// produced. No-op for pristine configurations; fault selection is
+// deterministic in (Widths, Faults, FaultSeed), so this reproduces the
+// same list the simulation instances used without rebuilding a network.
+func stampFaults(cfg Config, m *Manifest) {
+	if m == nil || cfg.Faults == 0 {
+		return
+	}
+	if fs, err := BuildFaults(cfg); err == nil && fs != nil {
+		m.Faults = fs.Strings()
+	}
+}
+
 // Curve is one load-latency line of a Figure 6 panel: the sweep of one
 // traffic pattern under one routing algorithm, truncated after its first
 // saturated point exactly like the serial RunLoadSweep output.
@@ -72,6 +86,8 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 						Saturated: pt.Saturated,
 						Cycles:    st.Cycles,
 						Events:    st.Events,
+						Delivered: st.Delivered,
+						Dropped:   st.Dropped,
 						Value:     pt,
 					}, nil
 				},
@@ -85,6 +101,9 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 		EarlyStop: true,
 		Progress:  po.Progress,
 	})
+	if rr != nil {
+		stampFaults(cfg, rr.Manifest)
+	}
 	if err != nil {
 		var m *Manifest
 		if rr != nil {
@@ -151,13 +170,22 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 					if err != nil {
 						return harness.Outcome{}, err
 					}
-					return harness.Outcome{Cycles: st.Cycles, Events: st.Events, Value: th}, nil
+					return harness.Outcome{
+						Cycles:    st.Cycles,
+						Events:    st.Events,
+						Delivered: st.Delivered,
+						Dropped:   st.Dropped,
+						Value:     th,
+					}, nil
 				},
 			})
 		}
 	}
 
 	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	if rr != nil {
+		stampFaults(cfg, rr.Manifest)
+	}
 	if err != nil {
 		var m *Manifest
 		if rr != nil {
@@ -182,4 +210,114 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 		grid.Values[pi][ai] = jr.Outcome.Value.(float64)
 	}
 	return grid, rr.Manifest, nil
+}
+
+// ResiliencePoint is one cell of the resilience experiment: one routing
+// algorithm measured at a fixed offered load with Faults failed links
+// injected. DeliveredFrac is the survival headline — the fraction of all
+// packets injected over the run (warmup included) that reached their
+// destination; fault-aware algorithms hold it at 1.0 while detect-and-drop
+// baselines shed exactly the traffic that met a dead minimal hop.
+type ResiliencePoint struct {
+	Algorithm string
+	Faults    int
+	FaultSet  []string // the injected links, "rA.pA<->rB.pB"
+	LoadPoint LoadPoint
+}
+
+// DeliveredFrac returns delivered/(delivered+dropped), or 1 when the run
+// moved no packets at all.
+func (p ResiliencePoint) DeliveredFrac() float64 {
+	total := p.LoadPoint.Delivered + p.LoadPoint.Dropped
+	if total == 0 {
+		return 1
+	}
+	return float64(p.LoadPoint.Delivered) / float64(total)
+}
+
+// RunResilienceSweep measures the graceful-degradation experiment: every
+// algorithm × fault-count cell at one fixed offered load, for k = 0..
+// maxFaults failed links. Fault sets are nested in spirit but drawn
+// independently per k (each k uses the deterministic seeded selection of
+// BuildFaults with the same FaultSeed), so the k axis is reproducible run
+// to run. Each cell is an independent simulation — results are
+// bit-identical at any worker count — and cells never early-stop: a
+// saturated or lossy cell is itself the measurement. Points are returned
+// grouped by algorithm in input order, ascending k.
+func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, algs []string, maxFaults int, load float64, opts RunOpts, po SweepOpts) ([]ResiliencePoint, *Manifest, error) {
+	cfg = cfg.withDefaults()
+	// Resolve every fault set up front: the lists go into the points (and
+	// errors surface before any simulation time is spent).
+	faultSets := make([][]string, maxFaults+1)
+	for k := 1; k <= maxFaults; k++ {
+		fcfg := cfg
+		fcfg.Faults = k
+		fs, err := BuildFaults(fcfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hyperx: resilience sweep k=%d: %w", k, err)
+		}
+		faultSets[k] = fs.Strings()
+	}
+
+	jobs := make([]harness.Job, 0, len(algs)*(maxFaults+1))
+	for ai, alg := range algs {
+		for k := 0; k <= maxFaults; k++ {
+			ccfg := cfg
+			ccfg.Algorithm = alg
+			ccfg.Faults = k
+			jobs = append(jobs, harness.Job{
+				Curve: ai,
+				Point: k,
+				Label: fmt.Sprintf("%s/%s@%.2f k=%d", patternName, alg, load, k),
+				Seed:  ccfg.Seed,
+				Run: func(jctx context.Context) (harness.Outcome, error) {
+					pt, st, err := runLoadPointCtx(jctx, ccfg, patternName, load, opts)
+					if err != nil {
+						return harness.Outcome{}, err
+					}
+					return harness.Outcome{
+						Saturated: pt.Saturated,
+						Cycles:    st.Cycles,
+						Events:    st.Events,
+						Delivered: st.Delivered,
+						Dropped:   st.Dropped,
+						Value:     pt,
+					}, nil
+				},
+			})
+		}
+	}
+
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	if err != nil {
+		var m *Manifest
+		if rr != nil {
+			m = rr.Manifest
+		}
+		return nil, m, err
+	}
+	if maxFaults > 0 {
+		rr.Manifest.Faults = faultSets[maxFaults]
+	}
+
+	points := make([]ResiliencePoint, 0, len(jobs))
+	byCell := make(map[[2]int]harness.JobResult, len(jobs))
+	for _, jr := range rr.Jobs {
+		byCell[[2]int{jr.Job.Curve, jr.Job.Point}] = jr
+	}
+	for ai, alg := range algs {
+		for k := 0; k <= maxFaults; k++ {
+			jr, ok := byCell[[2]int{ai, k}]
+			if !ok || !jr.Done {
+				continue
+			}
+			points = append(points, ResiliencePoint{
+				Algorithm: alg,
+				Faults:    k,
+				FaultSet:  faultSets[k],
+				LoadPoint: jr.Outcome.Value.(LoadPoint),
+			})
+		}
+	}
+	return points, rr.Manifest, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hyperx
+
+const raceEnabled = false

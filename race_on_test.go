@@ -1,0 +1,8 @@
+//go:build race
+
+package hyperx
+
+// raceEnabled reports that the binary was built with the race detector.
+// The paper-scale simulations don't fit the package test deadline under
+// its slowdown; `make race` is for the concurrency in internal/harness.
+const raceEnabled = true

@@ -15,6 +15,12 @@ for pat in UR BC URBx URBy URBz S2 DCR; do
 done
 go run ./cmd/hxsweep -throughput -warmup 8000 -window 8000 \
   -j "$JOBS" -manifest results/fig6g_throughput.manifest.json > results/fig6g_throughput.csv
+# Resilience: throughput/latency/loss vs number of failed links at a fixed
+# mid-range load. Fault-aware algorithms (DimWAR, OmniWAR) hold
+# delivered_frac at 1.0; the dimension-ordered baselines detect-and-drop.
+go run ./cmd/hxsweep -resilience 6 -load 0.5 -pattern UR \
+  -algs DOR,VAL,UGAL,UGAL+,DimWAR,OmniWAR -warmup 8000 -window 8000 \
+  -j "$JOBS" -manifest results/resilience.manifest.json > results/resilience.csv
 go run ./cmd/hxstencil -bytes 100000 > results/fig8.csv
 go run ./cmd/hxstencil -bytes 100000 -iters 16 -algs DimWAR,OmniWAR,UGAL,UGAL+ > results/fig8c_16iter.csv
 go run ./cmd/hxstencil -fig4 -bytes 100000 > results/fig4.csv

@@ -59,13 +59,22 @@ type LoadPoint struct {
 	Accepted  float64 // accepted throughput, flits/cycle/terminal
 	Samples   int
 	Saturated bool
+
+	// Delivered and Dropped count packets over the whole run (warmup
+	// included): on a pristine network Dropped is always zero; on a
+	// faulted one it is the loss the detect-and-drop path charged to
+	// fault-oblivious algorithms.
+	Delivered uint64
+	Dropped   uint64
 }
 
 // simStats carries the kernel's observability counters out of a run for
 // the harness manifest.
 type simStats struct {
-	Cycles int64  // simulation clock at the end of the run
-	Events uint64 // kernel events executed
+	Cycles    int64  // simulation clock at the end of the run
+	Events    uint64 // kernel events executed
+	Delivered uint64 // packets delivered over the whole run
+	Dropped   uint64 // packets lost to fault-induced drops
 }
 
 // RunLoadPoint measures one offered load for one pattern, following the
@@ -97,6 +106,7 @@ func runLoadPointCtx(ctx context.Context, cfg Config, patternName string, load f
 	end := warm + sim.Time(opts.Window)
 	col := stats.NewCollector(warm, end)
 	inst.Net.OnDeliver = col.OnDeliver
+	inst.Net.OnDrop = col.OnDrop
 
 	gen := &traffic.Generator{
 		Net:     inst.Net,
@@ -108,7 +118,12 @@ func runLoadPointCtx(ctx context.Context, cfg Config, patternName string, load f
 	gen.Start(inst.Cfg.Seed)
 
 	kstats := func() simStats {
-		return simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}
+		return simStats{
+			Cycles:    int64(inst.K.Now()),
+			Events:    inst.K.Executed(),
+			Delivered: inst.Net.DeliveredPackets,
+			Dropped:   inst.Net.DroppedPackets,
+		}
 	}
 	if _, err := inst.K.RunCtx(ctx, end); err != nil {
 		return LoadPoint{}, kstats(), err
@@ -139,6 +154,8 @@ func runLoadPointCtx(ctx context.Context, cfg Config, patternName string, load f
 		Accepted:  res.Accepted,
 		Samples:   res.Samples,
 		Saturated: saturated,
+		Delivered: inst.Net.DeliveredPackets,
+		Dropped:   inst.Net.DroppedPackets,
 	}, kstats(), nil
 }
 
@@ -201,6 +218,7 @@ func runThroughputCtx(ctx context.Context, cfg Config, patternName string, opts 
 	end := warm + sim.Time(opts.Window)
 	col := stats.NewCollector(warm, end)
 	inst.Net.OnDeliver = col.OnDeliver
+	inst.Net.OnDrop = col.OnDrop
 
 	gen := &traffic.Generator{
 		Net:     inst.Net,
@@ -210,11 +228,19 @@ func runThroughputCtx(ctx context.Context, cfg Config, patternName string, opts 
 		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
 	}
 	gen.Start(inst.Cfg.Seed)
+	kstats := func() simStats {
+		return simStats{
+			Cycles:    int64(inst.K.Now()),
+			Events:    inst.K.Executed(),
+			Delivered: inst.Net.DeliveredPackets,
+			Dropped:   inst.Net.DroppedPackets,
+		}
+	}
 	if _, err := inst.K.RunCtx(ctx, end); err != nil {
-		return 0, simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}, err
+		return 0, kstats(), err
 	}
 	gen.Stop()
-	st := simStats{Cycles: int64(inst.K.Now()), Events: inst.K.Executed()}
+	st := kstats()
 
 	res := col.Summarize(inst.Topo.NumTerminals(), opts.LatencyCap)
 	return res.Accepted, st, nil
