@@ -1,14 +1,26 @@
-# CI entry points. `make ci` is the full gate: static checks, build,
+# CI entry points. `make ci` is the full gate: static checks (vet plus
+# the hxlint determinism suite), build, the full tier-1 test suite,
 # race-enabled tests (the internal/harness pool tests are the reason for
 # -race), and a short-deadline smoke sweep through the parallel engine.
 GO ?= go
 
-.PHONY: ci vet build test race quick smoke faultsmoke bench
+.PHONY: ci vet lint build test race quick smoke faultsmoke bench
 
-ci: vet build race smoke faultsmoke
+ci: vet lint build test race smoke faultsmoke
 
 vet:
 	$(GO) vet ./...
+
+# Determinism-invariant static analysis (see internal/lint): nodeterm,
+# seedflow, maporder, and noconc over the simulation packages and the
+# CSV/manifest emission path, plus a gofmt cleanliness gate. Exits
+# nonzero on any finding.
+lint:
+	$(GO) run ./cmd/hxlint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

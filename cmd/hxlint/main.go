@@ -1,0 +1,111 @@
+// Command hxlint enforces the simulator's determinism contract: it walks
+// the module and reports every nodeterm / seedflow / maporder / noconc
+// violation (see internal/lint) as "file:line: [pass] message", exiting
+// nonzero if anything is found. `make lint` runs it over the whole tree,
+// and `make ci` gates on it, so a wall-clock read, a global-RNG draw, an
+// unsorted map iteration in an output path, or stray concurrency inside a
+// simulation package fails the build instead of silently skewing results.
+//
+// Usage:
+//
+//	hxlint ./...            # lint the whole module (the CI form)
+//	hxlint ./internal/sim   # restrict the report to one subtree
+//
+// Findings can be suppressed, with a mandatory reason, by an
+// //hxlint:allow directive on or directly above the offending line:
+//
+//	//hxlint:allow maporder — emission order is re-sorted by the caller
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hyperx/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hxlint [./... | dir ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxlint:", err)
+		os.Exit(2)
+	}
+	findings, err = restrict(findings, root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hxlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// restrict filters findings to the subtrees named on the command line.
+// "./..." (or no arguments) keeps everything — the whole-module form the
+// Makefile uses.
+func restrict(findings []lint.Finding, root string, args []string) ([]lint.Finding, error) {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return findings, nil
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(a, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside the module at %s", a, root)
+		}
+		prefixes = append(prefixes, filepath.ToSlash(rel)+"/")
+	}
+	if len(prefixes) == 0 {
+		return findings, nil
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if p == "./" || strings.HasPrefix(f.File, p) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -55,6 +55,11 @@ const (
 	RecursiveDoubling
 )
 
+// placementStream labels the random-placement RNG stream within the
+// instance's seed universe (rng.DeriveSeed), keeping it independent of
+// the traffic and arbitration streams derived from the same Config.Seed.
+const placementStream = 0x706c6163 // "plac"
+
 // Placement maps stencil processes to network terminals.
 type Placement int
 
@@ -197,7 +202,7 @@ func New(net *network.Network, cfg Config) (*Stencil, error) {
 	switch cfg.Placement {
 	case RandomPlacement:
 		perm := make([]int, net.Cfg.Topo.NumTerminals())
-		rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15).Perm(perm)
+		rng.New(rng.DeriveSeed(cfg.Seed, placementStream)).Perm(perm)
 		for i := 0; i < p; i++ {
 			s.placement[i] = perm[i]
 		}

@@ -240,9 +240,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*RunResult, error) {
 							cs.mu.Lock()
 							if j.Point < cs.minSat {
 								cs.minSat = j.Point
-								for p, c := range cs.cancels {
+								// Cancel doomed speculative points in ascending
+								// order: correctness doesn't depend on it (every
+								// p > j.Point gets cancelled either way), but a
+								// deterministic order keeps cancellation traces
+								// reproducible.
+								points := make([]int, 0, len(cs.cancels))
+								for p := range cs.cancels {
+									points = append(points, p)
+								}
+								sort.Ints(points)
+								for _, p := range points {
 									if p > j.Point {
-										c()
+										cs.cancels[p]()
 									}
 								}
 							}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// validPasses are the pass names an allow directive may reference.
+var validPasses = map[string]bool{
+	"nodeterm": true,
+	"seedflow": true,
+	"maporder": true,
+	"noconc":   true,
+}
+
+// allowIndex records, per pass, the lines carrying a valid allow
+// directive. A directive suppresses findings of its pass on its own line
+// (trailing form) and on the line immediately below it (standalone form).
+type allowIndex map[string]map[string]map[int]bool // pass -> file -> line
+
+func (a allowIndex) add(pass, file string, line int) {
+	if a[pass] == nil {
+		a[pass] = map[string]map[int]bool{}
+	}
+	if a[pass][file] == nil {
+		a[pass][file] = map[int]bool{}
+	}
+	a[pass][file][line] = true
+}
+
+func (a allowIndex) covers(pass, file string, line int) bool {
+	lines := a[pass][file]
+	return lines[line] || lines[line-1]
+}
+
+// collectDirectives scans every comment of the unit for hxlint:allow
+// directives. Valid ones land in the returned index; malformed ones —
+// unknown pass name or a missing reason — become findings themselves, so
+// a suppression can never silently decay into a blanket waiver.
+func collectDirectives(p *pkgUnit) (allowIndex, []Finding) {
+	allowed := allowIndex{}
+	var findings []Finding
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//hxlint:allow")
+				if !ok {
+					continue
+				}
+				file, line, col := p.position(c.Pos())
+				pass, reason := splitDirective(text)
+				switch {
+				case !validPasses[pass]:
+					findings = append(findings, Finding{
+						File: file, Line: line, Col: col, Pass: "directive",
+						Msg: "allow directive names unknown pass " + quoteOr(pass, "(none)") +
+							"; valid passes: maporder, nodeterm, noconc, seedflow",
+					})
+				case reason == "":
+					findings = append(findings, Finding{
+						File: file, Line: line, Col: col, Pass: "directive",
+						Msg: "allow directive for " + pass + " is missing its reason; write //hxlint:allow " +
+							pass + " — <why this is safe>",
+					})
+				default:
+					allowed.add(pass, file, line)
+				}
+			}
+		}
+	}
+	return allowed, findings
+}
+
+// splitDirective parses the text after "//hxlint:allow" into a pass name
+// and a reason. The reason is separated by an em-dash or a double hyphen.
+func splitDirective(text string) (pass, reason string) {
+	text = strings.TrimSpace(text)
+	for _, sep := range []string{"—", "--"} {
+		if before, after, ok := strings.Cut(text, sep); ok {
+			return strings.TrimSpace(before), strings.TrimSpace(after)
+		}
+	}
+	return text, ""
+}
+
+func quoteOr(s, empty string) string {
+	if s == "" {
+		return empty
+	}
+	return `"` + s + `"`
+}
+
+// fileIsTest reports whether the file holding the node is a _test.go file.
+func fileIsTest(p *pkgUnit, n ast.Node) bool {
+	return strings.HasSuffix(p.relFile(n.Pos()), "_test.go")
+}

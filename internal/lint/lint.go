@@ -1,0 +1,134 @@
+// Package lint is hxlint's engine: a stdlib-only static analyzer (go/ast,
+// go/parser, go/token, go/types — no external modules) that enforces the
+// simulator tree's determinism contract. Every headline result of this
+// reproduction — the SC '19 load/latency curves, the -j 1 vs -j 8 sweep
+// equality, the fault-injection delivery guarantees — rests on simulations
+// being bit-identical for a fixed seed, and that property is only as
+// strong as the absence of nondeterminism leaks. The passes here turn the
+// conventions documented in internal/rng and internal/sim into mechanical
+// checks that run at `make ci` time:
+//
+//   - nodeterm: no wall-clock (time.Now / time.Since / time.Sleep / …) and
+//     no global math/rand calls inside the simulation packages. Wall-clock
+//     belongs to internal/harness and cmd/, where it measures the run
+//     rather than participating in it.
+//   - seedflow: component RNGs are constructed through internal/rng, and
+//     seeds are derived with rng.DeriveSeed rather than ad-hoc arithmetic
+//     (seed+i, seed^i, …) that invites stream collisions. math/rand
+//     construction (rand.New(rand.NewSource(…))) is flagged outright.
+//   - maporder: no `for … range` over map-typed expressions in simulation
+//     packages or in the CSV/manifest emission path — Go randomizes map
+//     iteration order per process, so any map-order-dependent computation
+//     or output breaks run-to-run reproducibility. Iterate sorted keys
+//     instead (the key-gathering loop that feeds sort is recognized and
+//     exempt), or annotate with an explicit allow directive.
+//   - noconc: no `go` statements, channel operations, channel types, or
+//     sync/sync-atomic primitives inside the single-threaded event-kernel
+//     packages. Concurrency is the harness's job; inside a simulation
+//     instance it would make event interleaving scheduler-dependent.
+//
+// # Allow directives
+//
+// A finding can be suppressed — with a mandatory, human-readable reason —
+// by a directive on the offending line or on the line directly above it:
+//
+//	//hxlint:allow maporder — emission order is re-sorted by the caller
+//
+// The separator may be an em-dash ("—") or a double hyphen ("--"). A
+// directive without a reason is itself reported as a finding, and an
+// invalid directive suppresses nothing.
+//
+// # Scope
+//
+// The determinism scope (nodeterm, seedflow, noconc) is the simulation
+// package set: internal/sim, internal/network, internal/core,
+// internal/routing, internal/route, internal/traffic, internal/topology,
+// internal/stats, plus internal/app (single-threaded workload code driven
+// by the same kernel). The maporder pass additionally covers the output
+// path: the module root package, internal/harness (manifest emission), and
+// every cmd/ binary. seedflow skips _test.go files — tests may build
+// ad-hoc fixture seeds — while nodeterm, maporder, and noconc apply to
+// tests too: map-ordered subtest scheduling and output is exactly the
+// kind of flake this suite exists to prevent.
+//
+// # Limitations
+//
+// Type resolution is per-package with imports resolved from source, so
+// map detection is exact for anything declared in the module or the
+// standard library. Files that fail to parse abort the run; files with
+// type errors are analyzed on a best-effort basis (an expression whose
+// type cannot be resolved is never flagged by maporder).
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one diagnostic: a determinism-contract violation (or a
+// malformed allow directive) at a specific line.
+type Finding struct {
+	File string // path relative to the linted module root
+	Line int
+	Col  int
+	Pass string // "nodeterm", "seedflow", "maporder", "noconc", or "directive"
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [pass] message"
+// form that cmd/hxlint prints and the golden tests assert.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Pass, f.Msg)
+}
+
+// Run lints the Go module rooted at root and returns all findings sorted
+// by (file, line, column, pass). A nil, nil return means the tree is
+// clean. Run fails with an error only for structural problems — missing
+// go.mod, unparsable source — never for findings.
+func Run(root string) ([]Finding, error) {
+	pkgs, err := load(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		out = append(out, lintPackage(p)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out, nil
+}
+
+// lintPackage runs every pass that applies to the package's scope and
+// filters the results through the file's allow directives.
+func lintPackage(p *pkgUnit) []Finding {
+	var raw []Finding
+	allowed, dirFindings := collectDirectives(p)
+	raw = append(raw, dirFindings...)
+	if p.scope.determinism {
+		raw = append(raw, passNodeterm(p)...)
+		raw = append(raw, passSeedflow(p)...)
+		raw = append(raw, passNoconc(p)...)
+	}
+	if p.scope.determinism || p.scope.emitter {
+		raw = append(raw, passMaporder(p)...)
+	}
+	out := raw[:0]
+	for _, f := range raw {
+		if f.Pass != "directive" && allowed.covers(f.Pass, f.File, f.Line) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

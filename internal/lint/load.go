@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// scopeSet says which pass families apply to a package.
+type scopeSet struct {
+	determinism bool // nodeterm, seedflow, noconc (+ maporder)
+	emitter     bool // maporder only: CSV/manifest emission path
+}
+
+// simPackages is the determinism scope, as module-relative import paths.
+// These packages run inside a simulation instance: single-threaded,
+// seed-driven, and forbidden from touching wall-clock or global RNG state.
+var simPackages = map[string]bool{
+	"internal/sim":      true,
+	"internal/network":  true,
+	"internal/core":     true,
+	"internal/routing":  true,
+	"internal/route":    true,
+	"internal/traffic":  true,
+	"internal/topology": true,
+	"internal/stats":    true,
+	"internal/app":      true,
+}
+
+// scopeFor classifies a module-relative package path ("" is the root
+// package). The emitter scope is everything that writes CSV or manifest
+// output: the facade (root package), the harness (manifest), and the
+// cmd binaries.
+func scopeFor(rel string) scopeSet {
+	var s scopeSet
+	if simPackages[rel] {
+		s.determinism = true
+	}
+	if rel == "" || rel == "internal/harness" || rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
+		s.emitter = true
+	}
+	return s
+}
+
+// pkgUnit is one type-checked compilation unit: either a package together
+// with its in-package tests, or an external _test package.
+type pkgUnit struct {
+	importPath string
+	rel        string // module-relative dir, "" for root
+	scope      scopeSet
+	fset       *token.FileSet
+	files      []*ast.File
+	names      map[string]string // absolute filename -> root-relative path
+	info       *types.Info
+	rngPath    string // import path of the module's rng package
+}
+
+// relFile returns the module-root-relative path of the file containing pos.
+func (p *pkgUnit) relFile(pos token.Pos) string {
+	name := p.fset.Position(pos).Filename
+	if rel, ok := p.names[name]; ok {
+		return rel
+	}
+	return name
+}
+
+// position returns (root-relative file, line, col) for pos.
+func (p *pkgUnit) position(pos token.Pos) (string, int, int) {
+	ps := p.fset.Position(pos)
+	return p.relFile(pos), ps.Line, ps.Column
+}
+
+// load walks the module at root and type-checks every in-scope package,
+// including its test files. Out-of-scope packages are only loaded on
+// demand, as dependencies, via the module importer.
+func load(root string) ([]*pkgUnit, error) {
+	module, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	im := newModuleImporter(root, module, fset)
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var out []*pkgUnit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		scope := scopeFor(rel)
+		if !scope.determinism && !scope.emitter {
+			continue
+		}
+		units, err := loadDir(root, dir, rel, module, scope, fset, im)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, units...)
+	}
+	return out, nil
+}
+
+// loadDir parses every .go file of dir and type-checks it as up to two
+// units: the package proper (with in-package tests) and, when present,
+// the external _test package.
+func loadDir(root, dir, rel, module string, scope scopeSet, fset *token.FileSet, im *moduleImporter) ([]*pkgUnit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	names := map[string]string{}
+	relOf := map[*ast.File]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+		relName, err := filepath.Rel(root, path)
+		if err != nil {
+			return nil, err
+		}
+		names[path] = filepath.ToSlash(relName)
+		relOf[f] = filepath.ToSlash(relName)
+	}
+
+	importPath := module
+	if rel != "" {
+		importPath = module + "/" + rel
+	}
+	var pkgNames []string
+	for name := range byPkg { // deterministic unit order for stable output
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+
+	var out []*pkgUnit
+	for _, name := range pkgNames {
+		files := byPkg[name]
+		sort.Slice(files, func(i, j int) bool { return relOf[files[i]] < relOf[files[j]] })
+		ipath := importPath
+		if strings.HasSuffix(name, "_test") {
+			ipath += "_test"
+		}
+		u := &pkgUnit{
+			importPath: importPath,
+			rel:        rel,
+			scope:      scope,
+			fset:       fset,
+			files:      files,
+			names:      names,
+			rngPath:    module + "/internal/rng",
+			info: &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			},
+		}
+		// Best-effort check: the Error hook makes the checker push past
+		// type errors, leaving unresolvable expressions untyped rather
+		// than aborting the lint run.
+		conf := types.Config{Importer: im, Error: func(error) {}}
+		conf.Check(ipath, fset, files, u.info)
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// moduleName reads the module path from root/go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if name := strings.TrimSpace(rest); name != "" {
+				return strings.Trim(name, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// moduleImporter resolves imports for the type checker: module-internal
+// packages are type-checked from source inside the linted tree (test
+// files excluded, as for a real build), everything else — in practice the
+// standard library, since the simulator has no external dependencies —
+// comes from the source importer over GOROOT.
+type moduleImporter struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func newModuleImporter(root, module string, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		root:    root,
+		module:  module,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	if path != im.module && !strings.HasPrefix(path, im.module+"/") {
+		p, err := im.std.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		im.pkgs[path] = p
+		return p, nil
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+
+	dir := im.root
+	if rel := strings.TrimPrefix(path, im.module); rel != "" {
+		dir = filepath.Join(im.root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: cannot import %s: %w", path, err)
+	}
+	var files []*ast.File
+	var fnames []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		fnames = append(fnames, filepath.Join(dir, n))
+	}
+	sort.Strings(fnames)
+	for _, fn := range fnames {
+		f, err := parser.ParseFile(im.fset, fn, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files for %s in %s", path, dir)
+	}
+	conf := types.Config{Importer: im, Error: func(error) {}}
+	pkg, _ := conf.Check(path, im.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s failed", path)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}

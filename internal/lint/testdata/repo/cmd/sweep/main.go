@@ -1,0 +1,17 @@
+// Fixture: cmd binaries are in the emitter scope — ranging a map into
+// CSV output is a maporder violation, while wall-clock stays legal.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	rows := map[string]float64{"UR": 0.98, "BC": 0.49}
+	start := time.Now() // legal: cmd owns wall-clock
+	for name, v := range rows {
+		fmt.Printf("%s,%.2f\n", name, v)
+	}
+	fmt.Println(time.Since(start))
+}

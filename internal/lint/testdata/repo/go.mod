@@ -1,0 +1,3 @@
+module hyperx
+
+go 1.22

@@ -1,0 +1,16 @@
+// Fixture: the harness owns wall-clock and concurrency, so nothing in
+// this file is a finding — it pins the scope boundary.
+package harness
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamp reads the wall clock, which is legal here.
+func Stamp() time.Time { return time.Now() }
+
+// Guarded uses a mutex, which is legal here.
+type Guarded struct {
+	Mu sync.Mutex
+}

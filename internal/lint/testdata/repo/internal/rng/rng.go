@@ -1,0 +1,23 @@
+// Package rng is a minimal stand-in for the real internal/rng, just
+// enough surface for the fixtures to exercise the seedflow pass.
+package rng
+
+// Source is a deterministic stream.
+type Source struct{ state uint64 }
+
+// New returns a source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return s.state
+}
+
+// DeriveSeed deterministically folds labels into a base seed.
+func DeriveSeed(base uint64, labels ...uint64) uint64 {
+	for _, l := range labels {
+		base = (base ^ l) * 0xbf58476d1ce4e5b9
+	}
+	return base
+}

@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads inside a simulation package — every call in
+// this file is a seeded nodeterm violation.
+package sim
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed depends on the wall clock.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Wait blocks on real time.
+func Wait(d time.Duration) { time.Sleep(d) }

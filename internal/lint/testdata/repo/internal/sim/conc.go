@@ -1,0 +1,31 @@
+// Fixture: concurrency machinery inside the event-kernel package —
+// seeded noconc violations, plus one allowed select.
+package sim
+
+import "sync"
+
+type guard struct {
+	mu sync.Mutex // violation: sync primitive
+}
+
+func fanout(g *guard, n int) int {
+	ch := make(chan int, n) // violation: channel type
+	for i := 0; i < n; i++ {
+		go func(v int) { // violation: go statement
+			ch <- v // violation: channel send
+		}(i)
+	}
+	g.mu.Lock() // method call on a sync type; the field decl above is the finding
+	defer g.mu.Unlock()
+	return <-ch // violation: channel receive
+}
+
+func poll(done chan struct{}) bool { // violation: channel type
+	//hxlint:allow noconc — fixture: sanctioned cancellation poll mirroring sim.Kernel.RunCtx
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,55 @@
+// Fixture: map iteration in an output path — one seeded maporder
+// violation, the two exempt idioms, a valid allow directive, and a
+// directive with a missing reason (which is itself a finding and
+// suppresses nothing).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EmitUnsorted ranges a map straight into output: a maporder violation.
+func EmitUnsorted(w func(string), counts map[string]int) {
+	for k, v := range counts {
+		w(fmt.Sprintf("%s,%d", k, v))
+	}
+}
+
+// EmitSorted uses the key-gathering prologue, which is exempt.
+func EmitSorted(w func(string), counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w(fmt.Sprintf("%s,%d", k, counts[k]))
+	}
+}
+
+// Total binds neither key nor value, which is exempt.
+func Total(counts map[string]int) int {
+	n := 0
+	for range counts {
+		n++
+	}
+	return n
+}
+
+// EmitAllowed carries a valid directive and must stay clean.
+func EmitAllowed(w func(string), counts map[string]int) {
+	//hxlint:allow maporder — fixture: the caller re-sorts these lines before writing them out
+	for k, v := range counts {
+		w(fmt.Sprintf("%s,%d", k, v))
+	}
+}
+
+// EmitBadDirective's directive has no reason: the directive is a finding
+// and the range below it is still reported.
+func EmitBadDirective(w func(string), counts map[string]int) {
+	//hxlint:allow maporder
+	for k, v := range counts {
+		w(fmt.Sprintf("%s,%d", k, v))
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture: the test-file policy. seedflow skips _test.go files (tests
+// may build ad-hoc fixture seeds), but maporder still applies — a
+// map-ordered subtest schedule is a real flake source.
+package topology
+
+import "hyperx/internal/rng"
+
+// fixtureSeed's arithmetic is clean here because this is a test file.
+func fixtureSeed(i int) *rng.Source {
+	return rng.New(uint64(i) * 7)
+}
+
+// orderedNames ranges a map with the value bound: still a violation —
+// and the directive below names an unknown pass, so it is a second
+// finding and suppresses nothing.
+func orderedNames(m map[string]bool) []string {
+	var out []string
+	//hxlint:allow sloppiness — not a real pass name
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	return out
+}

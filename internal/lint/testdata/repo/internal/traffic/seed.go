@@ -1,0 +1,29 @@
+// Fixture: RNG construction outside the sanctioned seed flow — seeded
+// seedflow violations (and one nodeterm global-rand draw), plus the
+// blessed DeriveSeed form, which must stay clean.
+package traffic
+
+import (
+	"math/rand"
+
+	"hyperx/internal/rng"
+)
+
+// legacyStream builds a math/rand generator: two violations, one per
+// constructor call.
+func legacyStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// roll draws from the process-global generator: a nodeterm violation.
+func roll() int { return rand.Intn(6) }
+
+// adhoc derives a stream with naked seed arithmetic: a seedflow violation.
+func adhoc(seed uint64, i int) *rng.Source {
+	return rng.New(seed + uint64(i)*2654435761)
+}
+
+// good is the sanctioned form and must produce no findings.
+func good(seed uint64, i int) *rng.Source {
+	return rng.New(rng.DeriveSeed(seed, uint64(i)))
+}

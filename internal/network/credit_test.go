@@ -13,17 +13,20 @@ import (
 // lost or duplicated.
 func TestCreditConservation(t *testing.T) {
 	h := topology.MustHyperX([]int{4, 4}, 2)
-	algs := map[string]func() *Network{
-		"DimWAR":  func() *Network { return buildNet(t, h, core.NewDimWAR(h), nil) },
-		"OmniWAR": func() *Network { return buildNet(t, h, core.MustOmniWAR(h, 8, false), nil) },
-		"UGAL":    func() *Network { return buildNet(t, h, routing.NewUGAL(h), nil) },
-		"DAL": func() *Network {
+	algs := []struct {
+		name string
+		mk   func() *Network
+	}{
+		{"DimWAR", func() *Network { return buildNet(t, h, core.NewDimWAR(h), nil) }},
+		{"OmniWAR", func() *Network { return buildNet(t, h, core.MustOmniWAR(h, 8, false), nil) }},
+		{"UGAL", func() *Network { return buildNet(t, h, routing.NewUGAL(h), nil) }},
+		{"DAL", func() *Network {
 			return buildNet(t, h, routing.NewDAL(h), func(c *Config) { c.AtomicVCAlloc = true })
-		},
+		}},
 	}
-	for name, mk := range algs {
-		name, mk := name, mk
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range algs {
+		mk := tc.mk
+		t.Run(tc.name, func(t *testing.T) {
 			n := mk()
 			for k := 0; k < 8; k++ {
 				for src := 0; src < h.NumTerminals(); src++ {

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"sort"
 	"testing"
 
 	"hyperx/internal/core"
@@ -102,9 +103,14 @@ func TestConservation(t *testing.T) {
 			if int(n.DeliveredPackets) != sent {
 				t.Fatalf("delivered %d of %d", n.DeliveredPackets, sent)
 			}
-			for id, c := range delivered {
-				if c != 1 {
-					t.Fatalf("packet %d delivered %d times", id, c)
+			ids := make([]uint64, 0, len(delivered))
+			for id := range delivered {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				if delivered[id] != 1 {
+					t.Fatalf("packet %d delivered %d times", id, delivered[id])
 				}
 			}
 		})

@@ -156,6 +156,7 @@ func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
 	for !k.Halted {
 		if n++; n >= pollEvery {
 			n = 0
+			//hxlint:allow noconc — cooperative cancellation poll, the kernel's one sanctioned channel op: it only adds an exit point, so an interrupted run executes a strict prefix of the serial schedule and event order never depends on the scheduler
 			select {
 			case <-ctx.Done():
 				return k.now, ctx.Err()

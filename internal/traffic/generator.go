@@ -70,6 +70,7 @@ func (g *Generator) Start(seed uint64) {
 	if g.Load <= 0 {
 		panic("traffic: Load must be positive")
 	}
+	//hxlint:allow seedflow — frozen stream constant: every published sweep CSV (fig6*, resilience) was produced from this exact XOR-separated stream, and rewriting it through DeriveSeed would change every result byte; new streams must use rng.DeriveSeed
 	master := rng.New(seed ^ 0xdeadbeefcafef00d)
 	n := len(g.Net.Terminals)
 	g.streams = make([]*rng.Source, n)
