@@ -4,9 +4,9 @@
 # -race), and a short-deadline smoke sweep through the parallel engine.
 GO ?= go
 
-.PHONY: ci vet lint build test race quick smoke faultsmoke bench
+.PHONY: ci vet lint build test race quick smoke faultsmoke fuzzshort cover bench
 
-ci: vet lint build test race smoke faultsmoke
+ci: vet lint build test race smoke faultsmoke fuzzshort cover bench
 
 vet:
 	$(GO) vet ./...
@@ -64,5 +64,29 @@ faultsmoke:
 		END { exit bad }' /tmp/hxsweep-faultsmoke.csv
 	@echo faultsmoke OK
 
+# Short native-fuzz pass over the HyperX coordinate algebra. The seed
+# corpus is committed under internal/topology/testdata/fuzz; ten seconds
+# of mutation on top of it catches shape-dependent regressions without
+# holding up the gate.
+fuzzshort:
+	$(GO) test -run '^$$' -fuzz FuzzCoordRoundTrip -fuzztime 10s ./internal/topology/
+	@echo fuzzshort OK
+
+# Coverage floor for the hot-path packages: the kernel, the router model,
+# and the routing-algorithm library. These are where silent behaviour
+# drift is costliest (the golden-trace test detects it, coverage keeps the
+# detectors honest), so dropping below the floor fails the gate.
+COVER_FLOOR = 85
+cover:
+	@$(GO) test -count=1 -cover ./internal/sim/ ./internal/network/ ./internal/routing/ | tee /tmp/hx-cover.txt
+	@awk -v floor=$(COVER_FLOOR) '/coverage:/ { pct = $$5; sub(/%.*/, "", pct); \
+		if (pct + 0 < floor) { print "FAIL: " $$2 " coverage " pct "% below floor " floor "%"; bad = 1 } } \
+		END { exit bad }' /tmp/hx-cover.txt
+	@echo cover OK
+
+# CPU benchmarks via the JSON driver: BenchmarkKernelSchedule,
+# BenchmarkRouterStep, and BenchmarkSweepPoint (internal/perf), written to
+# BENCH_kernel.json with speedup ratios against the checked-in
+# pre-optimization baseline (results/bench_baseline.json).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/hxbench -baseline results/bench_baseline.json -out BENCH_kernel.json

@@ -1,0 +1,124 @@
+// Command hxbench runs the simulator's CPU benchmarks (internal/perf)
+// through testing.Benchmark and emits a machine-readable JSON report —
+// the artifact behind `make bench` (BENCH_kernel.json).
+//
+// Fields per benchmark:
+//
+//	ns_per_op       wall nanoseconds per benchmark op
+//	allocs_per_op   heap allocations per op
+//	bytes_per_op    heap bytes per op
+//	events_per_sec  kernel events executed per wall-second
+//	iterations      how many ops the 1-second auto-calibration ran
+//
+// With -baseline pointing at a previously captured report, the output
+// embeds that report under "baseline" and a per-benchmark
+// "events_per_sec_speedup" ratio (current / baseline), which is how the
+// kernel-optimization acceptance number (>= 1.25x on BenchmarkSweepPoint)
+// is recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hyperx/internal/perf"
+)
+
+type benchRecord struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	EventsPerSecSpeedup float64 `json:"events_per_sec_speedup,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+	Baseline    *report       `json:"baseline,omitempty"`
+}
+
+// suite lists the benchmarks in fixed emission order (never range a map
+// here: this file is on the deterministic-output path).
+var suite = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"BenchmarkKernelSchedule", perf.BenchKernelSchedule},
+	{"BenchmarkRouterStep", perf.BenchRouterStep},
+	{"BenchmarkSweepPoint", perf.BenchSweepPoint},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "output JSON path, - for stdout")
+	baseline := flag.String("baseline", "", "prior hxbench JSON to embed and compute speedups against")
+	flag.Parse()
+
+	rep := report{
+		GeneratedBy: "cmd/hxbench",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	var base *report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hxbench: %v\n", err)
+			os.Exit(1)
+		}
+		base = &report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "hxbench: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Baseline = base
+	}
+
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
+		res := testing.Benchmark(s.fn)
+		rec := benchRecord{
+			Name:         s.name,
+			Iterations:   res.N,
+			NsPerOp:      res.NsPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			EventsPerSec: res.Extra["events/sec"],
+		}
+		if base != nil {
+			for _, b := range base.Benchmarks {
+				if b.Name == rec.Name && b.EventsPerSec > 0 {
+					rec.EventsPerSecSpeedup = rec.EventsPerSec / b.EventsPerSec
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %d ns/op, %d allocs/op, %.0f events/sec\n",
+			s.name, rec.NsPerOp, rec.AllocsPerOp, rec.EventsPerSec)
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hxbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hxbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

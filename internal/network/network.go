@@ -205,6 +205,14 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	return n, nil
 }
 
+// Act implements sim.Actor: delivery completion is the one network-level
+// typed event.
+func (n *Network) Act(op uint8, _, _, _ int32, p any) {
+	if op == opDeliver {
+		n.deliver(p.(*route.Packet))
+	}
+}
+
 // VCsForClass returns the physical VCs backing a resource class.
 func (n *Network) VCsForClass(c int8) []int8 { return n.classVCs[c] }
 

@@ -9,6 +9,22 @@ import (
 	"hyperx/internal/topology"
 )
 
+// Event op codes for the typed sim.Actor dispatch. Routers, terminals,
+// the network, and the traffic generator each implement sim.Actor so the
+// hot path schedules pre-bound events instead of closures; the op selects
+// the handler within the receiver, and the meaning of (a, b, c, p) is
+// per-op. Every op here replaced a closure that was allocated per packet
+// or per arbitration attempt.
+const (
+	opArrive     uint8 = iota // Router: packet head reaches input (a=port, b=vc, p=*route.Packet)
+	opAttempt                 // Router: retry output arbitration (a=port)
+	opCredit                  // Router: upstream credit return (a=port, b=vc, c=flits)
+	opReroute                 // Router: blocked-waiter re-route timer (p=*waiter)
+	opDeliver                 // Network: packet reaches its terminal (p=*route.Packet)
+	opTermRetry               // Terminal: injection-channel retry
+	opTermCredit              // Terminal: injection credit return (a=vc, b=flits)
+)
+
 // inputVC is one per-(port,VC) packet buffer. Occupancy accounting lives
 // at the sender as credits; the queue here holds the packets themselves.
 type inputVC struct {
@@ -81,11 +97,56 @@ type outputPort struct {
 
 // Router is the combined input/output-queued router model.
 type Router struct {
-	net *Network
-	id  int
-	in  []inputPort
-	out []outputPort
-	ctx route.Ctx
+	net   *Network
+	id    int
+	in    []inputPort
+	out   []outputPort
+	ctx   route.Ctx
+	wfree []*waiter // waiter pool: zero steady-state allocation in routeHead
+}
+
+// Act implements sim.Actor: the typed-event entry point for all router
+// work (arrivals, arbitration attempts, credit returns, re-route timers).
+func (r *Router) Act(op uint8, a, b, c int32, p any) {
+	switch op {
+	case opArrive:
+		r.arrive(p.(*route.Packet), int(a), int8(b))
+	case opAttempt:
+		port := int(a)
+		o := &r.out[port]
+		// The event fires exactly at its scheduled time, so Now() is the
+		// `t` this attempt was deduplicated under.
+		if o.attemptAt == r.net.K.Now() {
+			o.attemptAt = 0
+		}
+		r.attempt(port)
+	case opCredit:
+		r.creditArrive(int(a), int8(b), int(c))
+	case opReroute:
+		r.reroute(p.(*waiter))
+	}
+}
+
+// getWaiter takes a waiter from the pool, initialized for a new decision.
+func (r *Router) getWaiter(pkt *route.Packet, inPort int, inVC int8) *waiter {
+	var w *waiter
+	if n := len(r.wfree); n > 0 {
+		w = r.wfree[n-1]
+		r.wfree = r.wfree[:n-1]
+	} else {
+		w = &waiter{}
+	}
+	*w = waiter{pkt: pkt, inPort: inPort, inVC: inVC, active: true}
+	return w
+}
+
+// putWaiter recycles an unregistered waiter. Callers must copy any fields
+// they still need first: the pool may hand the same struct straight back
+// to the next routeHead.
+func (r *Router) putWaiter(w *waiter) {
+	w.pkt = nil
+	w.timer = nil
+	r.wfree = append(r.wfree, w)
 }
 
 func newRouter(n *Network, id int, rs *rng.Source) *Router {
@@ -195,7 +256,7 @@ func (r *Router) arrive(p *route.Packet, port int, vc int8) {
 func (r *Router) routeHead(port int, vc int8) {
 	iv := &r.in[port].vcs[vc]
 	p := iv.front()
-	w := &waiter{pkt: p, inPort: port, inVC: vc, active: true}
+	w := r.getWaiter(p, port, vc)
 	if p.DstRouter == r.id {
 		_, ejPort := r.net.Cfg.Topo.TerminalPort(p.Dst)
 		w.eject = true
@@ -226,6 +287,7 @@ func (r *Router) routeHead(port int, vc int8) {
 				// live candidate is discarded and counted rather than
 				// wedging the VC (or panicking). See DESIGN notes on
 				// graceful degradation semantics.
+				r.putWaiter(w)
 				r.drop(port, vc)
 				return
 			}
@@ -235,7 +297,7 @@ func (r *Router) routeHead(port int, vc int8) {
 		w.cand = cands[route.SelectMinWeight(ctx, cands)]
 		// A blocked decision goes stale; re-evaluate periodically so
 		// incremental adaptivity keeps responding to changing congestion.
-		w.timer = r.net.K.After(r.net.Cfg.ReRouteInterval, func() { r.reroute(w) })
+		w.timer = r.net.K.AfterAct(r.net.Cfg.ReRouteInterval, r, opReroute, 0, 0, 0, w)
 	}
 	o := &r.out[w.cand.Port]
 	o.waiters = append(o.waiters, w)
@@ -248,8 +310,10 @@ func (r *Router) reroute(w *waiter) {
 	if !w.active {
 		return
 	}
+	port, vc := w.inPort, w.inVC
 	r.unregister(w)
-	r.routeHead(w.inPort, w.inVC)
+	r.putWaiter(w) // routeHead below may reuse it for the fresh decision
+	r.routeHead(port, vc)
 }
 
 // unregister removes a waiter from its output's wait list.
@@ -289,11 +353,11 @@ func (r *Router) drop(port int, vc int8) {
 	ip := &r.in[port]
 	if ip.fromTerminal >= 0 {
 		term := n.Terminals[ip.fromTerminal]
-		n.K.At(n.K.Now()+ip.upLat, func() { term.creditArrive(vc, flits) })
+		n.K.AtAct(n.K.Now()+ip.upLat, term, opTermCredit, int32(vc), int32(flits), 0, nil)
 	} else {
 		up := n.Routers[ip.peerRouter]
 		upPort := ip.peerPort
-		n.K.At(n.K.Now()+ip.upLat, func() { up.creditArrive(upPort, vc, flits) })
+		n.K.AtAct(n.K.Now()+ip.upLat, up, opCredit, int32(upPort), int32(vc), int32(flits), nil)
 	}
 	n.freePacket(p)
 	if !iv.empty() {
@@ -373,12 +437,7 @@ func (r *Router) scheduleAttempt(port int, t sim.Time) {
 		return // an attempt at or before t is already pending
 	}
 	o.attemptAt = t
-	r.net.K.At(t, func() {
-		if o.attemptAt == t {
-			o.attemptAt = 0
-		}
-		r.attempt(port)
-	})
+	r.net.K.AtAct(t, r, opAttempt, int32(port), 0, 0, nil)
 }
 
 // grant moves a packet from its input buffer across the crossbar and
@@ -387,9 +446,13 @@ func (r *Router) scheduleAttempt(port int, t sim.Time) {
 func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 	k := r.net.K
 	now := k.Now()
-	iv := &r.in[w.inPort].vcs[w.inVC]
+	// Copy the fields needed past unregister: the waiter goes back to the
+	// pool and may be reissued by the routeHead call below.
+	inPort, inVC, cand := w.inPort, w.inVC, w.cand
+	iv := &r.in[inPort].vcs[inVC]
 	p := iv.pop()
 	r.unregister(w)
+	r.putWaiter(w)
 
 	flits := p.Len
 	o.busyUntil = now + sim.Time(flits)
@@ -397,38 +460,34 @@ func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 	o.grants++
 
 	if o.toTerminal >= 0 {
-		net := r.net
-		k.At(now+net.Cfg.XbarLat+o.lat, func() { net.deliver(p) })
+		k.AtAct(now+r.net.Cfg.XbarLat+o.lat, r.net, opDeliver, 0, 0, 0, p)
 	} else {
-		route.Commit(p, &w.cand)
+		route.Commit(p, &cand)
 		o.credits[vc] -= flits
 		p.VC = vc
 		if r.net.OnHop != nil {
-			r.net.OnHop(p, r.id, w.cand.Port, vc)
+			r.net.OnHop(p, r.id, cand.Port, vc)
 		}
 		dst := r.net.Routers[o.peerRouter]
-		dp := o.peerPort
-		k.At(now+r.net.Cfg.XbarLat+o.lat, func() { dst.arrive(p, dp, vc) })
+		k.AtAct(now+r.net.Cfg.XbarLat+o.lat, dst, opArrive, int32(o.peerPort), int32(vc), 0, p)
 	}
 
 	// Upstream credit return: the last flit leaves our input buffer at
 	// now+flits; the credit crosses the reverse channel after upLat.
-	ip := &r.in[w.inPort]
-	inVC := w.inVC
+	ip := &r.in[inPort]
 	if ip.fromTerminal >= 0 {
 		term := r.net.Terminals[ip.fromTerminal]
-		k.At(now+sim.Time(flits)+ip.upLat, func() { term.creditArrive(inVC, flits) })
+		k.AtAct(now+sim.Time(flits)+ip.upLat, term, opTermCredit, int32(inVC), int32(flits), 0, nil)
 	} else {
 		up := r.net.Routers[ip.peerRouter]
-		upPort := ip.peerPort
-		k.At(now+sim.Time(flits)+ip.upLat, func() { up.creditArrive(upPort, inVC, flits) })
+		k.AtAct(now+sim.Time(flits)+ip.upLat, up, opCredit, int32(ip.peerPort), int32(inVC), int32(flits), nil)
 	}
 
 	if !iv.empty() {
-		r.routeHead(w.inPort, w.inVC)
+		r.routeHead(inPort, inVC)
 	}
 	if len(o.waiters) > 0 {
-		r.scheduleAttempt(w.cand.Port, o.busyUntil)
+		r.scheduleAttempt(cand.Port, o.busyUntil)
 	}
 }
 

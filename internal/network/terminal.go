@@ -37,6 +37,21 @@ func newTerminal(n *Network, id int) *Terminal {
 // ID returns the terminal's index.
 func (t *Terminal) ID() int { return t.id }
 
+// Act implements sim.Actor: injection-channel retries and credit returns.
+func (t *Terminal) Act(op uint8, a, b, _ int32, _ any) {
+	switch op {
+	case opTermRetry:
+		// The event fires exactly at its scheduled time, so Now() is the
+		// `at` this retry was deduplicated under.
+		if t.retryAt == t.net.K.Now() {
+			t.retryAt = 0
+		}
+		t.tryInject()
+	case opTermCredit:
+		t.creditArrive(int8(a), int(b))
+	}
+}
+
 // QueueLen returns the number of packets waiting in the source queue.
 func (t *Terminal) QueueLen() int { return len(t.q) - t.head }
 
@@ -76,8 +91,7 @@ func (t *Terminal) tryInject() {
 		t.net.InjectedPackets++
 		t.net.InjectedFlits += uint64(p.Len)
 		rt := t.net.Routers[t.router]
-		port := t.rport
-		k.At(now+t.lat, func() { rt.arrive(p, port, vc) })
+		k.AtAct(now+t.lat, rt, opArrive, int32(t.rport), int32(vc), 0, p)
 	}
 }
 
@@ -103,12 +117,7 @@ func (t *Terminal) scheduleRetry(at sim.Time) {
 		return
 	}
 	t.retryAt = at
-	t.net.K.At(at, func() {
-		if t.retryAt == at {
-			t.retryAt = 0
-		}
-		t.tryInject()
-	})
+	t.net.K.AtAct(at, t, opTermRetry, 0, 0, 0, nil)
 }
 
 // creditArrive restores injection credits.

@@ -1,0 +1,150 @@
+// Package perf hosts the simulator's CPU benchmarks: wall-clock cost of
+// the event kernel, the router pipeline, and a whole facade-level sweep
+// point. The benchmark bodies live here (not in _test.go files) so that
+// cmd/hxbench can drive them through testing.Benchmark and emit
+// BENCH_kernel.json, while internal/perf's own test file wraps the same
+// bodies for `go test -bench`.
+//
+// Every body reports an "events/sec" metric — kernel events executed per
+// wall-second — which is the simulator's headline throughput number: it is
+// what bounds how fast paper-scale sweeps run, and it is the quantity the
+// `make bench` JSON tracks across PRs.
+//
+// The scenarios deliberately use only stable public APIs (closure
+// scheduling, the facade build path) so that numbers stay comparable
+// across internal rewrites of the kernel and router: a baseline captured
+// before an optimization can be diffed against the optimized tree.
+package perf
+
+import (
+	"testing"
+
+	"hyperx"
+	"hyperx/internal/sim"
+	"hyperx/internal/stats"
+	"hyperx/internal/traffic"
+)
+
+// BenchKernelSchedule measures raw queue cost: 64 self-rescheduling event
+// chains whose deltas mix the dominant schedule-at-now+1..+4 case with
+// occasional medium (+50) and far (+600) targets, mirroring the delay
+// spectrum of the network model (flit serialization, channel latency,
+// reroute timers, drain-loop horizons). The chain closures are allocated
+// once, so steady-state cost is pure kernel: schedule + dispatch.
+func BenchKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	deltas := [...]sim.Time{1, 2, 1, 3, 1, 4, 2, 1, 1, 2, 50, 1, 3, 1, 2, 600}
+	executed := 0
+	const chains = 64
+	for c := 0; c < chains; c++ {
+		c := c
+		i := c
+		var step func()
+		step = func() {
+			executed++
+			if executed >= b.N {
+				return
+			}
+			i++
+			k.After(deltas[i&(len(deltas)-1)], step)
+		}
+		k.At(sim.Time(c%4), step)
+	}
+	k.Run(0)
+	if executed < b.N {
+		b.Fatalf("executed %d events, want >= %d", executed, b.N)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// benchConfig is the shared network scenario: the reduced 4x4x4 t=4 scale
+// with the paper's DimWAR under uniform random traffic.
+func benchConfig() hyperx.Config {
+	cfg := hyperx.DefaultScale()
+	cfg.Algorithm = "DimWAR"
+	return cfg
+}
+
+// BenchRouterStep measures the steady-state router pipeline: a warmed
+// 256-terminal network under open-loop UR injection at 0.7 load, advanced
+// 100 simulated cycles per benchmark iteration. The cost per op is
+// dominated by router-path work — candidate generation, arbitration,
+// grants, credit returns — plus the kernel events that carry it.
+func BenchRouterStep(b *testing.B) {
+	b.ReportAllocs()
+	inst, err := hyperx.Build(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := hyperx.NewPattern("UR", inst.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: 1, Max: 16},
+		Load:    0.7,
+	}
+	gen.Start(inst.Cfg.Seed)
+	inst.K.Run(1000) // fill to steady state outside the timer
+	b.ResetTimer()
+	start := inst.K.Executed()
+	for i := 0; i < b.N; i++ {
+		inst.K.Run(inst.K.Now() + 100)
+	}
+	events := inst.K.Executed() - start
+	if events == 0 {
+		b.Fatal("no events executed")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchSweepPoint measures one complete load-sweep point end to end —
+// build, warmup, measured window, drain — exactly the unit of work the
+// parallel sweep harness schedules, at a reduced window so one iteration
+// stays around a hundred milliseconds. This is the number that predicts
+// paper-scale sweep wall time.
+func BenchSweepPoint(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		load   = 0.6
+		warmup = 2000
+		window = 2000
+	)
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		inst, err := hyperx.Build(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pat, err := hyperx.NewPattern("UR", inst.Topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := sim.Time(warmup)
+		end := warm + sim.Time(window)
+		col := stats.NewCollector(warm, end)
+		inst.Net.OnDeliver = col.OnDeliver
+		gen := &traffic.Generator{
+			Net:     inst.Net,
+			Pattern: pat,
+			Sizes:   traffic.UniformSize{Min: 1, Max: 16},
+			Load:    load,
+			OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
+		}
+		gen.Start(inst.Cfg.Seed)
+		inst.K.Run(end)
+		deadline := end + sim.Time(10*window)
+		for !col.Done() && inst.K.Now() < deadline {
+			inst.K.Run(inst.K.Now() + 2000)
+		}
+		gen.Stop()
+		if inst.Net.DeliveredPackets == 0 {
+			b.Fatal("sweep point delivered nothing")
+		}
+		events += inst.K.Executed()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

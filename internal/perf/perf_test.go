@@ -1,0 +1,12 @@
+package perf
+
+// `go test -bench` entry points for the shared benchmark bodies; see
+// cmd/hxbench for the JSON-emitting driver behind `make bench`.
+
+import "testing"
+
+func BenchmarkKernelSchedule(b *testing.B) { BenchKernelSchedule(b) }
+
+func BenchmarkRouterStep(b *testing.B) { BenchRouterStep(b) }
+
+func BenchmarkSweepPoint(b *testing.B) { BenchSweepPoint(b) }

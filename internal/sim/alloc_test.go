@@ -1,0 +1,129 @@
+package sim
+
+// Allocation regression tests for the kernel hot path. The calendar-queue
+// rewrite exists to make steady-state scheduling free of per-event heap
+// work; these tests pin that property so it cannot silently rot. They use
+// testing.AllocsPerRun, which reports the average over many runs, and
+// demand exactly zero.
+
+import "testing"
+
+// countActor is a minimal sim.Actor that records its invocations.
+type countActor struct {
+	n    int
+	last [3]int32
+	op   uint8
+	p    any
+}
+
+func (a *countActor) Act(op uint8, x, y, z int32, p any) {
+	a.n++
+	a.op = op
+	a.last = [3]int32{x, y, z}
+	a.p = p
+}
+
+// warmKernel cycles enough typed events through k to warm every ring
+// bucket and stock the event free list, so subsequent scheduling exercises
+// only the steady-state path.
+func warmKernel(k *Kernel, act Actor) {
+	for i := 0; i < 4*ringSize; i++ {
+		k.AtAct(k.Now()+Time(i%7)+1, act, 0, 0, 0, 0, nil)
+	}
+	k.Run(0)
+}
+
+// TestTypedScheduleDispatchZeroAlloc: one AtAct plus its dispatch allocates
+// nothing once the pool and ring are warm — the invariant that makes the
+// router pipeline's per-flit events free.
+func TestTypedScheduleDispatchZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	act := &countActor{}
+	warmKernel(k, act)
+	allocs := testing.AllocsPerRun(2000, func() {
+		k.AtAct(k.Now()+1, act, 3, 7, -1, 9, nil)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed schedule+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestClosureScheduleDispatchZeroAlloc: scheduling a pre-existing closure
+// is also allocation-free; only constructing a fresh capturing closure
+// costs, which is why the hot path moved to typed events.
+func TestClosureScheduleDispatchZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	fn := func() { n++ }
+	for i := 0; i < 4*ringSize; i++ {
+		k.At(k.Now()+Time(i%7)+1, fn)
+	}
+	k.Run(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		k.At(k.Now()+1, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("closure schedule+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTypedEventDelivery: AtAct passes the op code, arguments, and payload
+// through to the actor unchanged, at the scheduled time.
+func TestTypedEventDelivery(t *testing.T) {
+	k := NewKernel()
+	act := &countActor{}
+	payload := &struct{ v int }{v: 42}
+	k.AtAct(5, act, 9, 1, -2, 3, payload)
+	k.Run(0)
+	if act.n != 1 || act.op != 9 || act.last != [3]int32{1, -2, 3} || act.p != payload {
+		t.Fatalf("typed event delivered wrong values: n=%d op=%d args=%v p=%v",
+			act.n, act.op, act.last, act.p)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", k.Now())
+	}
+}
+
+// TestTypedEventCancel: typed events honour Cancel like closures do.
+func TestTypedEventCancel(t *testing.T) {
+	k := NewKernel()
+	act := &countActor{}
+	e := k.AfterAct(10, act, 0, 0, 0, 0, nil)
+	k.Cancel(e)
+	k.Run(0)
+	if act.n != 0 {
+		t.Fatal("cancelled typed event ran")
+	}
+}
+
+// TestFIFOAcrossTiers: events landing in the far-future heap and then
+// migrating into the calendar window keep FIFO order among equal
+// timestamps relative to events scheduled directly into the window.
+func TestFIFOAcrossTiers(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	const at = ringSize + 500 // beyond the initial window: lands in the far heap
+	for i := 0; i < 50; i++ {
+		i := i
+		k.At(at, func() { got = append(got, i) })
+	}
+	// Drag the window forward so the far events migrate, then add more at
+	// the same timestamp directly into the ring.
+	k.At(at-100, func() {
+		for i := 50; i < 100; i++ {
+			i := i
+			k.At(at, func() { got = append(got, i) })
+		}
+	})
+	k.Run(0)
+	if len(got) != 100 {
+		t.Fatalf("executed %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("cross-tier FIFO violated at %d: got %v", i, got[:i+1])
+		}
+	}
+}

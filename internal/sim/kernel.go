@@ -10,6 +10,32 @@
 // simulation instance owns one kernel, and nothing outside the instance
 // can perturb its event order.
 //
+// # Queue structure
+//
+// The queue is a two-tier calendar: a ring of ringSize per-cycle FIFO
+// buckets covering the near-future window [winStart, winStart+ringSize),
+// plus a binary heap for the far future. The network model schedules
+// almost exclusively a few cycles ahead (flit serialization, channel
+// latency, credit return), so the common case is an O(1) bucket append
+// and an O(1) bucket pop; the heap only sees long-delay events (reroute
+// timers at low load, drain horizons, idle-source injection gaps). The
+// (time, seq) FIFO contract is preserved exactly: a bucket receives its
+// heap refugees the moment its cycle enters the window — strictly before
+// any direct append for that cycle can occur, and in (time, seq) heap
+// order — so every bucket is sequence-sorted by construction. The golden-
+// trace test (repo root) pins this equivalence against the historical
+// single-heap kernel.
+//
+// # Event representation
+//
+// Events carry either a closure (At/After) or a pre-bound typed callback
+// (AtAct/AfterAct): an Actor receiver plus a small fixed argument set.
+// The typed form exists for the simulator hot path — router arrivals,
+// arbitration attempts, credit returns, injections — where per-event
+// closures were the dominant allocation source. Event structs themselves
+// are pooled; the steady-state schedule/dispatch path allocates nothing
+// (asserted by internal/perf's zero-alloc regression tests).
+//
 // Cancellation: RunCtx is Run with a cooperative context check every few
 // thousand events. Cancelling never reorders events — an interrupted run
 // has executed a strict prefix of the serial schedule — so a job aborted
@@ -19,7 +45,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 )
 
@@ -27,29 +52,84 @@ import (
 // network model built on top of this kernel).
 type Time int64
 
+// Actor handles typed events. The kernel invokes Act with the op code and
+// arguments given to AtAct; their meaning is entirely the actor's. Using a
+// pointer-typed Actor and a pointer payload keeps scheduling allocation-
+// free (storing pointers in interfaces does not heap-allocate).
+type Actor interface {
+	Act(op uint8, a, b, c int32, p any)
+}
+
 // Event is a unit of scheduled work.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+
+	// Exactly one of fn (closure form) or act (typed form) is set.
+	fn      func()
+	act     Actor
+	p       any
+	a, b, c int32
+	op      uint8
+
+	dead   bool // cancelled; skipped and recycled at pop time
+	queued bool // currently in a bucket or the far heap
+}
+
+const (
+	// ringBits sizes the near-future window. 1024 cycles covers every
+	// fixed delay in the network model (crossbar 50, channels 5/50,
+	// packets up to 16 flits, reroute interval 100, drain steps 2000 are
+	// split by until-boundaries) while keeping the per-kernel footprint
+	// at a few tens of kilobytes.
+	ringBits = 10
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
+
+// bucket is one calendar cell: the FIFO of events for a single cycle.
+type bucket struct {
+	q    []*Event
+	head int
 }
 
 // Kernel is a discrete-event simulator. The zero value is not usable; call
 // NewKernel.
 type Kernel struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	nexec  uint64
-	free   []*Event // recycled events to reduce allocation churn
-	Halted bool     // set by Halt; Run returns at the next event boundary
+	now   Time
+	seq   uint64
+	nexec uint64
+	npend int
+
+	// Near-future calendar ring: cycle t lives in ring[t&ringMask],
+	// valid for t in [winStart, winStart+ringSize).
+	ring     []bucket
+	winStart Time
+	nring    int
+
+	// Far-future overflow, ordered by (at, seq).
+	far farHeap
+
+	// late holds events scheduled behind winStart. Reachable only after
+	// Run's until-boundary has rewound the clock below an already-executed
+	// event (a quirk preserved from the original single-heap kernel);
+	// practically always empty.
+	late []*Event
+
+	free []*Event // recycled events: zero steady-state allocation
+
+	halted bool // set by Halt; Run returns at the next event boundary
+
+	// TraceExec, when non-nil, observes every executed (live) event as
+	// (time, seq) immediately before its callback runs. It exists for the
+	// golden-trace regression test, which folds the exact execution order
+	// into a pinned hash; production runs leave it nil.
+	TraceExec func(at Time, seq uint64)
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{ring: make([]bucket, ringSize)}
 }
 
 // Now returns the current simulation time.
@@ -59,13 +139,12 @@ func (k *Kernel) Now() Time { return k.now }
 // progress assertions in deadlock tests.
 func (k *Kernel) Executed() uint64 { return k.nexec }
 
-// Pending returns the number of events currently queued.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+// Pending returns the number of events currently queued (cancelled events
+// count until they are popped and recycled).
+func (k *Kernel) Pending() int { return k.npend }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a model bug. The returned handle may be passed to
-// Cancel.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// alloc takes an event from the pool and stamps its (time, seq).
+func (k *Kernel) alloc(t Time) *Event {
 	if t < k.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -78,10 +157,42 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	}
 	e.at = t
 	e.seq = k.seq
-	e.fn = fn
 	e.dead = false
+	e.queued = true
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.npend++
+	return e
+}
+
+// enqueue places an allocated event into the tier its time belongs to.
+func (k *Kernel) enqueue(e *Event) {
+	switch {
+	case e.at >= k.winStart+ringSize:
+		k.far.push(e)
+	case e.at >= k.winStart:
+		b := &k.ring[int(e.at)&ringMask]
+		b.q = append(b.q, e)
+		k.nring++
+	default:
+		k.late = append(k.late, e)
+	}
+}
+
+// recycle returns a popped event to the pool, dropping its references.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.act = nil
+	e.p = nil
+	k.free = append(k.free, e)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug. The returned handle may be passed to
+// Cancel.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	e := k.alloc(t)
+	e.fn = fn
+	k.enqueue(e)
 	return e
 }
 
@@ -90,46 +201,169 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// AtAct schedules a typed event: at time t the kernel calls
+// act.Act(op, a, b, c, p). Equivalent to At with a closure over the same
+// values, but allocation-free — the hot-path form for the network model.
+func (k *Kernel) AtAct(t Time, act Actor, op uint8, a, b, c int32, p any) *Event {
+	e := k.alloc(t)
+	e.act = act
+	e.op = op
+	e.a, e.b, e.c = a, b, c
+	e.p = p
+	k.enqueue(e)
+	return e
+}
+
+// AfterAct schedules a typed event d cycles from now.
+func (k *Kernel) AfterAct(d Time, act Actor, op uint8, a, b, c int32, p any) *Event {
+	return k.AtAct(k.now+d, act, op, a, b, c, p)
+}
+
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // has already run or was already cancelled is a no-op.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.dead || e.idx < 0 {
+	if e == nil || e.dead || !e.queued {
 		return
 	}
 	e.dead = true
 }
 
 // Halt requests that Run return before executing the next event.
-func (k *Kernel) Halt() { k.Halted = true }
+func (k *Kernel) Halt() { k.halted = true }
+
+// Halted reports whether Halt has been called during the current (or most
+// recent) Run; starting a new Run clears it.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// advanceWindow slides the calendar window forward so it starts at `to`,
+// migrating far-heap events that the move brings inside the window into
+// their buckets. Migration happens exactly when a cycle enters the window
+// — before any direct append for that cycle is possible — and the heap
+// yields equal-time events in seq order, so bucket FIFO order remains
+// globally correct. Calls with to <= winStart are no-ops: the window never
+// moves backward.
+func (k *Kernel) advanceWindow(to Time) {
+	if to <= k.winStart {
+		return
+	}
+	k.winStart = to
+	horizon := to + ringSize
+	for len(k.far.h) > 0 && k.far.h[0].at < horizon {
+		e := k.far.pop()
+		b := &k.ring[int(e.at)&ringMask]
+		b.q = append(b.q, e)
+		k.nring++
+	}
+}
+
+// peek returns the earliest queued event (live or cancelled) without
+// removing it, or nil when the queue is empty. As a side effect it slides
+// the window up to the event's bucket, so the subsequent pop is O(1).
+func (k *Kernel) peek() *Event {
+	if len(k.late) > 0 {
+		return k.peekLate()
+	}
+	if k.nring == 0 {
+		if len(k.far.h) == 0 {
+			return nil
+		}
+		// Ring drained: jump the window to the far heap's minimum.
+		k.advanceWindow(k.far.h[0].at)
+	}
+	for s := k.winStart; ; s++ {
+		b := &k.ring[int(s)&ringMask]
+		if b.head < len(b.q) {
+			k.advanceWindow(s)
+			return b.q[b.head]
+		}
+		if len(b.q) > 0 {
+			b.q = b.q[:0]
+			b.head = 0
+		}
+	}
+}
+
+// peekLate returns the (time, seq)-minimal late event; the late list is
+// tiny (practically always empty), so a linear scan is fine.
+func (k *Kernel) peekLate() *Event {
+	best := k.late[0]
+	for _, e := range k.late[1:] {
+		if e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+// pop removes and returns the earliest queued event, or nil when empty.
+func (k *Kernel) pop() *Event {
+	e := k.peek()
+	if e == nil {
+		return nil
+	}
+	if len(k.late) > 0 {
+		for i, x := range k.late {
+			if x == e {
+				k.late = append(k.late[:i], k.late[i+1:]...)
+				break
+			}
+		}
+	} else {
+		b := &k.ring[int(e.at)&ringMask]
+		b.q[b.head] = nil
+		b.head++
+		if b.head == len(b.q) {
+			b.q = b.q[:0]
+			b.head = 0
+		}
+		k.nring--
+	}
+	e.queued = false
+	k.npend--
+	return e
+}
 
 // Step executes the next pending event. It returns false when the queue is
 // empty.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*Event)
+	for {
+		e := k.pop()
+		if e == nil {
+			return false
+		}
 		if e.dead {
-			e.fn = nil
-			k.free = append(k.free, e)
+			k.recycle(e)
 			continue
 		}
 		k.now = e.at
-		fn := e.fn
-		e.fn = nil
-		k.free = append(k.free, e)
 		k.nexec++
-		fn()
+		if k.TraceExec != nil {
+			k.TraceExec(e.at, e.seq)
+		}
+		if fn := e.fn; fn != nil {
+			k.recycle(e)
+			fn()
+		} else {
+			act, op, a, b, c, p := e.act, e.op, e.a, e.b, e.c, e.p
+			k.recycle(e)
+			act.Act(op, a, b, c, p)
+		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty, the clock passes until
 // (when until > 0), or Halt is called. It returns the time of the last
-// executed event.
+// executed event. The halt flag is checked at the event boundary: an event
+// that calls Halt is the last event to execute.
 func (k *Kernel) Run(until Time) Time {
-	k.Halted = false
-	for !k.Halted {
-		if until > 0 && k.queue.Len() > 0 && k.queue[0].at > until {
+	k.halted = false
+	for !k.halted {
+		e := k.peek()
+		if e == nil {
+			break
+		}
+		if until > 0 && e.at > until {
 			k.now = until
 			break
 		}
@@ -151,9 +385,9 @@ const pollEvery = 8192
 // RunCtx is identical to Run's — the poll only adds an exit point, never
 // reorders work — so callers may freely mix the two.
 func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
-	k.Halted = false
+	k.halted = false
 	n := 0
-	for !k.Halted {
+	for !k.halted {
 		if n++; n >= pollEvery {
 			n = 0
 			//hxlint:allow noconc — cooperative cancellation poll, the kernel's one sanctioned channel op: it only adds an exit point, so an interrupted run executes a strict prefix of the serial schedule and event order never depends on the scheduler
@@ -163,7 +397,11 @@ func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
 			default:
 			}
 		}
-		if until > 0 && k.queue.Len() > 0 && k.queue[0].at > until {
+		e := k.peek()
+		if e == nil {
+			break
+		}
+		if until > 0 && e.at > until {
 			k.now = until
 			break
 		}
@@ -174,36 +412,57 @@ func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
 	return k.now, nil
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*Event
+// farHeap is a hand-rolled binary min-heap over (at, seq) for events
+// beyond the calendar window. Hand-rolled rather than container/heap to
+// keep pops free of interface dispatch.
+type farHeap struct {
+	h []*Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (f *farHeap) less(i, j int) bool {
+	a, b := f.h[i], f.h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+func (f *farHeap) push(e *Event) {
+	f.h = append(f.h, e)
+	i := len(f.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.less(i, parent) {
+			break
+		}
+		f.h[i], f.h[parent] = f.h[parent], f.h[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
+func (f *farHeap) pop() *Event {
+	h := f.h
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	f.h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && f.less(l, small) {
+			small = l
+		}
+		if r < n && f.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		f.h[i], f.h[small] = f.h[small], f.h[i]
+		i = small
+	}
 	return e
 }

@@ -121,6 +121,35 @@ func TestKernelHalt(t *testing.T) {
 	}
 }
 
+// TestKernelHaltInsideEvent: Halt called during an event stops the run
+// before ANY further event executes — including one already queued at the
+// same timestamp — and leaves the remainder runnable.
+func TestKernelHaltInsideEvent(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(10, func() { got = append(got, 1); k.Halt() })
+	k.At(10, func() { got = append(got, 2) })
+	k.At(20, func() { got = append(got, 3) })
+	k.Run(0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("events after Halt ran in the same Run: %v", got)
+	}
+	if !k.Halted() {
+		t.Fatal("Halted() = false immediately after a halted Run")
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	// A fresh Run clears the flag and executes the remainder in order.
+	k.Run(0)
+	if k.Halted() {
+		t.Fatal("Halted() still true after an unhalted Run")
+	}
+	if len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("remainder ran out of order: %v", got)
+	}
+}
+
 // TestKernelHeapProperty: random schedules always execute in
 // nondecreasing time order.
 func TestKernelHeapProperty(t *testing.T) {

@@ -1,0 +1,156 @@
+package topology
+
+// Property-based coverage of the HyperX coordinate algebra. The rest of
+// the simulator leans on these identities being exact — router IDs,
+// mixed-radix coordinates, and port numbers are converted back and forth
+// on every routing decision — so they are checked here over randomized
+// topologies and router pairs rather than a handful of fixed examples.
+// FuzzCoordRoundTrip extends the same identities to fuzzed inputs; its
+// seed corpus lives in testdata/fuzz/FuzzCoordRoundTrip.
+
+import (
+	"testing"
+
+	"hyperx/internal/rng"
+)
+
+// clampWidths maps arbitrary fuzz/random bytes onto a valid HyperX shape:
+// 1-3 dimensions of width 2..9 and 1..4 terminals per router.
+func clampWidths(w0, w1, w2, terms uint8) ([]int, int) {
+	widths := []int{int(w0%8) + 2}
+	if w1%4 != 0 { // three of four shapes get a second dimension
+		widths = append(widths, int(w1%8)+2)
+	}
+	if w2%4 != 0 {
+		widths = append(widths, int(w2%8)+2)
+	}
+	return widths, int(terms%4) + 1
+}
+
+// checkCoordIdentities asserts every coordinate/port identity for one
+// router of one topology. Shared by the property test and the fuzz target.
+func checkCoordIdentities(t *testing.T, h *HyperX, r int) {
+	t.Helper()
+	coord := h.Coord(r, make([]int, h.NumDims()))
+	if got := h.RouterAt(coord); got != r {
+		t.Fatalf("%s: RouterAt(Coord(%d)) = %d", h.Name(), r, got)
+	}
+	for d := range h.Widths {
+		if got := h.CoordDigit(r, d); got != coord[d] {
+			t.Fatalf("%s: CoordDigit(%d, %d) = %d, coord %v", h.Name(), r, d, got, coord)
+		}
+		for v := 0; v < h.Widths[d]; v++ {
+			w := h.WithDigit(r, d, v)
+			if got := h.CoordDigit(w, d); got != v {
+				t.Fatalf("%s: WithDigit(%d, %d, %d) has digit %d", h.Name(), r, d, v, got)
+			}
+			for e := range h.Widths {
+				if e != d && h.CoordDigit(w, e) != coord[e] {
+					t.Fatalf("%s: WithDigit(%d, %d, %d) disturbed dim %d", h.Name(), r, d, v, e)
+				}
+			}
+			if v == coord[d] {
+				continue
+			}
+			// Port encoding round trip and link symmetry.
+			port := h.DimPort(r, d, v)
+			if pd, pv := h.PortDim(r, port); pd != d || pv != v {
+				t.Fatalf("%s: PortDim(%d, DimPort(%d,%d,%d)) = (%d,%d)", h.Name(), r, r, d, v, pd, pv)
+			}
+			pr, pp := h.Peer(r, port)
+			if pr != w {
+				t.Fatalf("%s: Peer(%d,%d) router = %d, want %d", h.Name(), r, port, pr, w)
+			}
+			if br, bp := h.Peer(pr, pp); br != r || bp != port {
+				t.Fatalf("%s: link not symmetric: Peer(%d,%d) = (%d,%d), want (%d,%d)",
+					h.Name(), pr, pp, br, bp, r, port)
+			}
+		}
+	}
+	// Terminal ports round-trip through their terminal IDs.
+	for p := 0; p < h.Terms; p++ {
+		term := h.PortTerminal(r, p)
+		if tr, tp := h.TerminalPort(term); tr != r || tp != p {
+			t.Fatalf("%s: TerminalPort(PortTerminal(%d,%d)) = (%d,%d)", h.Name(), r, p, tr, tp)
+		}
+	}
+}
+
+// TestMinimalHopsProperties: MinHops is exactly the Hamming distance of
+// the mixed-radix coordinates, and behaves like a metric that a single
+// dimension hop decreases by exactly one.
+func TestMinimalHopsProperties(t *testing.T) {
+	rs := rng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		widths, terms := clampWidths(uint8(rs.Intn(256)), uint8(rs.Intn(256)), uint8(rs.Intn(256)), uint8(rs.Intn(256)))
+		h := MustHyperX(widths, terms)
+		a := rs.Intn(h.NumRouters())
+		b := rs.Intn(h.NumRouters())
+
+		// Hamming-distance definition, symmetry, identity.
+		want := 0
+		for d := range h.Widths {
+			if h.CoordDigit(a, d) != h.CoordDigit(b, d) {
+				want++
+			}
+		}
+		if got := h.MinHops(a, b); got != want {
+			t.Fatalf("%s: MinHops(%d,%d) = %d, want Hamming %d", h.Name(), a, b, got, want)
+		}
+		if h.MinHops(a, b) != h.MinHops(b, a) {
+			t.Fatalf("%s: MinHops not symmetric for (%d,%d)", h.Name(), a, b)
+		}
+		if h.MinHops(a, a) != 0 {
+			t.Fatalf("%s: MinHops(%d,%d) != 0", h.Name(), a, a)
+		}
+
+		// UnalignedDims and FirstUnalignedDim agree with MinHops.
+		dims := h.UnalignedDims(a, b, nil)
+		if len(dims) != want {
+			t.Fatalf("%s: UnalignedDims(%d,%d) = %v, want %d dims", h.Name(), a, b, dims, want)
+		}
+		first := h.FirstUnalignedDim(a, b)
+		if want == 0 && first != -1 {
+			t.Fatalf("%s: FirstUnalignedDim(%d,%d) = %d for aligned pair", h.Name(), a, b, first)
+		}
+		if want > 0 && first != dims[0] {
+			t.Fatalf("%s: FirstUnalignedDim(%d,%d) = %d, want %d", h.Name(), a, b, first, dims[0])
+		}
+
+		// Aligning any unaligned dimension is exactly one hop of progress:
+		// every dimension is fully connected, so minimal paths resolve one
+		// differing digit per hop.
+		for _, d := range dims {
+			step := h.WithDigit(a, d, h.CoordDigit(b, d))
+			if got := h.MinHops(step, b); got != want-1 {
+				t.Fatalf("%s: aligning dim %d of (%d,%d): MinHops = %d, want %d",
+					h.Name(), d, a, b, got, want-1)
+			}
+		}
+	}
+}
+
+// TestCoordIdentitiesRandom drives the shared identity checker over random
+// topologies, complementing the fuzz target with always-on coverage.
+func TestCoordIdentitiesRandom(t *testing.T) {
+	rs := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		widths, terms := clampWidths(uint8(rs.Intn(256)), uint8(rs.Intn(256)), uint8(rs.Intn(256)), uint8(rs.Intn(256)))
+		h := MustHyperX(widths, terms)
+		checkCoordIdentities(t, h, rs.Intn(h.NumRouters()))
+	}
+}
+
+// FuzzCoordRoundTrip fuzzes the coordinate algebra: any (shape, router)
+// the clamp admits must satisfy every round-trip identity.
+func FuzzCoordRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(1), uint16(0))
+	f.Add(uint8(6), uint8(6), uint8(6), uint8(2), uint16(511)) // 8x8x8 t4 far corner
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint16(3))   // width-2 dims collapse to 1D
+	f.Add(uint8(7), uint8(4), uint8(0), uint8(3), uint16(80))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, terms uint8, router uint16) {
+		widths, nt := clampWidths(w0, w1, w2, terms)
+		h := MustHyperX(widths, nt)
+		checkCoordIdentities(t, h, int(router)%h.NumRouters())
+	})
+}

@@ -95,8 +95,16 @@ func (g *Generator) initialGap(t int) sim.Time {
 	return gap
 }
 
+// Act implements sim.Actor: each firing injects one packet on terminal a
+// and schedules that terminal's next injection. Typed events keep the
+// per-packet scheduling cost allocation-free; the op code is unused since
+// injection is the generator's only event kind.
+func (g *Generator) Act(_ uint8, a, _, _ int32, _ any) {
+	g.inject(int(a))
+}
+
 func (g *Generator) scheduleNext(t int, gap sim.Time) {
-	g.Net.K.After(gap, func() { g.inject(t) })
+	g.Net.K.AfterAct(gap, g, 0, int32(t), 0, 0, nil)
 }
 
 func (g *Generator) inject(t int) {
