@@ -89,4 +89,4 @@ cover:
 # BENCH_kernel.json with speedup ratios against the checked-in
 # pre-optimization baseline (results/bench_baseline.json).
 bench:
-	$(GO) run ./cmd/hxbench -baseline results/bench_baseline.json -out BENCH_kernel.json
+	$(GO) run ./cmd/hxbench -baseline results/bench_baseline.json -gate 0.9 -out BENCH_kernel.json

@@ -37,6 +37,10 @@ type benchRecord struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 
 	EventsPerSecSpeedup float64 `json:"events_per_sec_speedup,omitempty"`
+
+	// BytesPerTerminal is reported only by the paper-scale footprint
+	// benchmark: build heap bytes normalized per simulated node.
+	BytesPerTerminal float64 `json:"bytes_per_terminal,omitempty"`
 }
 
 type report struct {
@@ -56,11 +60,14 @@ var suite = []struct {
 	{"BenchmarkKernelSchedule", perf.BenchKernelSchedule},
 	{"BenchmarkRouterStep", perf.BenchRouterStep},
 	{"BenchmarkSweepPoint", perf.BenchSweepPoint},
+	{"BenchmarkPaperScaleSweepPoint", perf.BenchPaperScaleSweepPoint},
+	{"BenchmarkPaperScaleFootprint", perf.BenchPaperScaleFootprint},
 }
 
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output JSON path, - for stdout")
 	baseline := flag.String("baseline", "", "prior hxbench JSON to embed and compute speedups against")
+	gate := flag.Float64("gate", 0, "fail (exit 1) if any events_per_sec_speedup drops below this ratio; 0 disables")
 	flag.Parse()
 
 	rep := report{
@@ -87,12 +94,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
 		res := testing.Benchmark(s.fn)
 		rec := benchRecord{
-			Name:         s.name,
-			Iterations:   res.N,
-			NsPerOp:      res.NsPerOp(),
-			AllocsPerOp:  res.AllocsPerOp(),
-			BytesPerOp:   res.AllocedBytesPerOp(),
-			EventsPerSec: res.Extra["events/sec"],
+			Name:             s.name,
+			Iterations:       res.N,
+			NsPerOp:          res.NsPerOp(),
+			AllocsPerOp:      res.AllocsPerOp(),
+			BytesPerOp:       res.AllocedBytesPerOp(),
+			EventsPerSec:     res.Extra["events/sec"],
+			BytesPerTerminal: res.Extra["bytes/terminal"],
 		}
 		if base != nil {
 			for _, b := range base.Benchmarks {
@@ -114,6 +122,7 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
+		checkGate(&rep, *gate)
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
@@ -121,4 +130,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	checkGate(&rep, *gate)
+}
+
+// checkGate enforces the regression floor: every benchmark that has a
+// baseline counterpart must retain at least gate of the baseline's
+// events/sec. The report is written before the check runs, so a gate
+// failure still leaves the measurement on disk for diagnosis.
+func checkGate(rep *report, gate float64) {
+	if gate <= 0 || rep.Baseline == nil {
+		return
+	}
+	failed := false
+	for _, rec := range rep.Benchmarks {
+		if rec.EventsPerSecSpeedup == 0 {
+			continue // no baseline entry (new benchmark) or no events metric
+		}
+		if rec.EventsPerSecSpeedup < gate {
+			fmt.Fprintf(os.Stderr, "hxbench: GATE FAIL %s: %.3fx baseline events/sec (floor %.2fx)\n",
+				rec.Name, rec.EventsPerSecSpeedup, gate)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

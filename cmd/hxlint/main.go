@@ -1,10 +1,12 @@
-// Command hxlint enforces the simulator's determinism contract: it walks
-// the module and reports every nodeterm / seedflow / maporder / noconc
-// violation (see internal/lint) as "file:line: [pass] message", exiting
-// nonzero if anything is found. `make lint` runs it over the whole tree,
-// and `make ci` gates on it, so a wall-clock read, a global-RNG draw, an
-// unsorted map iteration in an output path, or stray concurrency inside a
-// simulation package fails the build instead of silently skewing results.
+// Command hxlint enforces the simulator's determinism and performance
+// contracts: it walks the module and reports every nodeterm / seedflow /
+// maporder / noconc / allocfree violation (see internal/lint) as
+// "file:line: [pass] message", exiting nonzero if anything is found.
+// `make lint` runs it over the whole tree, and `make ci` gates on it, so a
+// wall-clock read, a global-RNG draw, an unsorted map iteration in an
+// output path, stray concurrency inside a simulation package, or an
+// unreasoned allocation on the steady-state data path fails the build
+// instead of silently skewing results.
 //
 // Usage:
 //

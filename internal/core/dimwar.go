@@ -77,7 +77,6 @@ func (a *DimWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	}
 	minRem := int8(h.MinHops(r, dst))
 	dstV := h.CoordDigit(dst, d)
-	own := h.CoordDigit(r, d)
 	dim := int8(d)
 	fs := a.faults
 
@@ -100,16 +99,19 @@ func (a *DimWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	// deroute-then-align pair is the only admissible path through the
 	// dimension.
 	if p.Class == 0 {
-		for v := 0; v < h.Widths[d]; v++ {
-			if v == own || v == dstV {
+		// Walk the dimension's port block: ports ascend with the peer's
+		// digit (own skipped), so this is the same v-ascending lateral
+		// order as before, with the minimal port standing in for v == dstV.
+		base, n := h.DimPortBlock(d)
+		for port := base; port < base+n; port++ {
+			if port == minPort {
 				continue
 			}
-			port := h.DimPort(r, d, v)
 			if fs != nil {
 				if fs.Dead(r, port) {
 					continue
 				}
-				via := h.WithDigit(r, d, v)
+				via := h.PeerRouter(r, port)
 				if fs.Dead(via, h.DimPort(via, d, dstV)) {
 					continue
 				}

@@ -84,8 +84,10 @@ func (a *OmniWAR) SetFaults(fs *topology.FaultSet) {
 		return
 	}
 	h := a.topo
+	//hxlint:allow allocfree — fault-set installation is configuration time, once per build or per injected failure, never per event
 	a.risk = make([][]bool, h.NumDims())
 	for d, w := range h.Widths {
+		//hxlint:allow allocfree — configuration time, see above
 		a.risk[d] = make([]bool, w)
 	}
 	for _, l := range fs.Links() {
@@ -139,7 +141,7 @@ func (a *OmniWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	}
 
 	cands := ctx.Cands[:0]
-	for d, w := range h.Widths {
+	for d := range h.Widths {
 		own := h.CoordDigit(r, d)
 		dstV := h.CoordDigit(dst, d)
 		if own == dstV {
@@ -162,16 +164,19 @@ func (a *OmniWAR) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 		if fs != nil && !minDead && budget <= reserve {
 			continue // reserve remaining classes for forced deroutes
 		}
-		for v := 0; v < w; v++ {
-			if v == own || v == dstV {
+		// Lateral deroutes via the dimension's port block: ports ascend
+		// with the peer digit (own skipped), matching the old v-ascending
+		// order; the minimal port is v == dstV.
+		base, n := h.DimPortBlock(d)
+		for port := base; port < base+n; port++ {
+			if port == minPort {
 				continue
 			}
-			port := h.DimPort(r, d, v)
 			if fs != nil {
 				if fs.Dead(r, port) {
 					continue
 				}
-				via := h.WithDigit(r, d, v)
+				via := h.PeerRouter(r, port)
 				if fs.Dead(via, h.DimPort(via, d, dstV)) {
 					continue
 				}

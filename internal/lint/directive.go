@@ -7,10 +7,11 @@ import (
 
 // validPasses are the pass names an allow directive may reference.
 var validPasses = map[string]bool{
-	"nodeterm": true,
-	"seedflow": true,
-	"maporder": true,
-	"noconc":   true,
+	"nodeterm":  true,
+	"seedflow":  true,
+	"maporder":  true,
+	"noconc":    true,
+	"allocfree": true,
 }
 
 // allowIndex records, per pass, the lines carrying a valid allow
@@ -54,7 +55,7 @@ func collectDirectives(p *pkgUnit) (allowIndex, []Finding) {
 					findings = append(findings, Finding{
 						File: file, Line: line, Col: col, Pass: "directive",
 						Msg: "allow directive names unknown pass " + quoteOr(pass, "(none)") +
-							"; valid passes: maporder, nodeterm, noconc, seedflow",
+							"; valid passes: allocfree, maporder, nodeterm, noconc, seedflow",
 					})
 				case reason == "":
 					findings = append(findings, Finding{

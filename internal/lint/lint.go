@@ -26,6 +26,14 @@
 //     sync/sync-atomic primitives inside the single-threaded event-kernel
 //     packages. Concurrency is the harness's job; inside a simulation
 //     instance it would make event interleaving scheduler-dependent.
+//   - allocfree: no make() outside construction functions (New*/Build*/
+//     init*) and no `x.f = append(x.f, …)` slice-state growth inside the
+//     per-event data-path packages (internal/sim, internal/network,
+//     internal/core, internal/routing, internal/route). The steady-state
+//     zero-allocation property those packages' AllocsPerRun suites assert
+//     is easy to erode one innocent allocation at a time; this pass makes
+//     every such site an explicit, reasoned decision. Amortized pool
+//     refills stay, annotated with an allow directive.
 //
 // # Allow directives
 //
@@ -71,7 +79,7 @@ type Finding struct {
 	File string // path relative to the linted module root
 	Line int
 	Col  int
-	Pass string // "nodeterm", "seedflow", "maporder", "noconc", or "directive"
+	Pass string // "nodeterm", "seedflow", "maporder", "noconc", "allocfree", or "directive"
 	Msg  string
 }
 
@@ -122,6 +130,9 @@ func lintPackage(p *pkgUnit) []Finding {
 	}
 	if p.scope.determinism || p.scope.emitter {
 		raw = append(raw, passMaporder(p)...)
+	}
+	if p.scope.allocpath {
+		raw = append(raw, passAllocfree(p)...)
 	}
 	out := raw[:0]
 	for _, f := range raw {

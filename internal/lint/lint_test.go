@@ -55,7 +55,7 @@ func TestFixtureFindsEveryPass(t *testing.T) {
 	for _, f := range findings {
 		seen[f.Pass]++
 	}
-	for _, pass := range []string{"nodeterm", "seedflow", "maporder", "noconc", "directive"} {
+	for _, pass := range []string{"nodeterm", "seedflow", "maporder", "noconc", "allocfree", "directive"} {
 		if seen[pass] == 0 {
 			t.Errorf("fixture tree has no %s finding; the pass is untested", pass)
 		}

@@ -17,6 +17,18 @@ import (
 type scopeSet struct {
 	determinism bool // nodeterm, seedflow, noconc (+ maporder)
 	emitter     bool // maporder only: CSV/manifest emission path
+	allocpath   bool // allocfree: steady-state zero-allocation data path
+}
+
+// allocPackages is the allocfree scope: the packages on the per-event data
+// path — kernel, router pipeline, candidate generation — whose steady
+// state must not allocate (see the AllocsPerRun suites they carry).
+var allocPackages = map[string]bool{
+	"internal/sim":     true,
+	"internal/network": true,
+	"internal/core":    true,
+	"internal/routing": true,
+	"internal/route":   true,
 }
 
 // simPackages is the determinism scope, as module-relative import paths.
@@ -42,6 +54,9 @@ func scopeFor(rel string) scopeSet {
 	var s scopeSet
 	if simPackages[rel] {
 		s.determinism = true
+	}
+	if allocPackages[rel] {
+		s.allocpath = true
 	}
 	if rel == "" || rel == "internal/harness" || rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
 		s.emitter = true

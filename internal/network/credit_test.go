@@ -44,7 +44,7 @@ func TestCreditConservation(t *testing.T) {
 						continue
 					}
 					for vc, cr := range o.credits {
-						if cr != n.Cfg.BufDepth {
+						if int(cr) != n.Cfg.BufDepth {
 							t.Fatalf("router %d port %d vc %d: %d credits after drain, want %d",
 								r.id, p, vc, cr, n.Cfg.BufDepth)
 						}
@@ -60,7 +60,7 @@ func TestCreditConservation(t *testing.T) {
 			// Terminal injection credits restored too.
 			for _, term := range n.Terminals {
 				for vc, cr := range term.credits {
-					if cr != n.Cfg.BufDepth {
+					if int(cr) != n.Cfg.BufDepth {
 						t.Fatalf("terminal %d vc %d: %d credits after drain", term.id, vc, cr)
 					}
 				}

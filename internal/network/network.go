@@ -147,7 +147,7 @@ type Network struct {
 
 	hasFaults bool
 
-	pool    []*route.Packet
+	pool    *route.Packet // free list threaded through Packet.Next
 	nextPkt uint64
 
 	// Aggregate counters.
@@ -194,14 +194,63 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 
 	topo := cfg.Topo
 	master := rng.New(cfg.Seed)
-	n.Routers = make([]*Router, topo.NumRouters())
+	np := topo.NumPorts()
+	nv := cfg.NumVCs
+	nr := topo.NumRouters()
+	nt := topo.NumTerminals()
+
+	// Candidate scratch bound: from the topology's own offered-port count
+	// when it declares one, so paper-scale (or wider) radix can never
+	// outgrow an assumed cap; the generic fallback is every port plus one.
+	maxCands := np + 1
+	if op, ok := topo.(interface{ OfferedPorts() int }); ok {
+		maxCands = op.OfferedPorts()
+	}
+
+	// Router and terminal state lives in network-level slabs, subsliced
+	// per owner: at paper scale (512 routers x radix 29 x 8 VCs) the
+	// per-object layout this replaces was the footprint and locality
+	// bottleneck — hundreds of thousands of separately-allocated queues
+	// and credit arrays.
+	routerSlab := make([]Router, nr)
+	inSlab := make([]inputPort, nr*np)
+	outSlab := make([]outputPort, nr*np)
+	vcSlab := make([]inputVC, nr*np*nv)
+	credSlab := make([]int32, nr*np*nv)
+	waiterQSlab := make([]*waiter, nr*np*nv)
+	wstockSlab := make([]waiter, nr*nv)
+	wfreeSlab := make([]*waiter, nr*np*nv)
+	candSlab := make([]route.Candidate, nr*maxCands)
+	termSlab := make([]Terminal, nt)
+	termCredSlab := make([]int32, nt*nv)
+
+	streams := master.DeriveN(0, nr)
+	n.Routers = make([]*Router, nr)
 	for r := range n.Routers {
-		n.Routers[r] = newRouter(n, r, master.Derive(uint64(r)))
+		n.Routers[r] = &routerSlab[r]
+		initRouter(&routerSlab[r], n, r, &streams[r], routerSlabs{
+			in:      inSlab[r*np : (r+1)*np : (r+1)*np],
+			out:     outSlab[r*np : (r+1)*np : (r+1)*np],
+			vcs:     vcSlab[r*np*nv : (r+1)*np*nv],
+			credits: credSlab[r*np*nv : (r+1)*np*nv],
+			waiterQ: waiterQSlab[r*np*nv : (r+1)*np*nv],
+			wstock:  wstockSlab[r*nv : (r+1)*nv],
+			wfree:   wfreeSlab[r*np*nv : r*np*nv : (r+1)*np*nv],
+			cands:   candSlab[r*maxCands : r*maxCands : (r+1)*maxCands],
+		})
 	}
-	n.Terminals = make([]*Terminal, topo.NumTerminals())
+	n.Terminals = make([]*Terminal, nt)
 	for t := range n.Terminals {
-		n.Terminals[t] = newTerminal(n, t)
+		n.Terminals[t] = &termSlab[t]
+		initTerminal(&termSlab[t], n, t, termCredSlab[t*nv:(t+1)*nv:(t+1)*nv])
 	}
+
+	// Pre-size the kernel for this model's steady-state event population
+	// (in-flight channel crossings, credit returns, reroute timers): one
+	// event per link plus a few per terminal is the observed high-water
+	// shape. A low estimate only means on-demand growth, never misbehaviour.
+	events := nr*np + 4*nt
+	k.Reserve(events, max(4, events/4096))
 	return n, nil
 }
 
@@ -216,15 +265,22 @@ func (n *Network) Act(op uint8, _, _, _ int32, p any) {
 // VCsForClass returns the physical VCs backing a resource class.
 func (n *Network) VCsForClass(c int8) []int8 { return n.classVCs[c] }
 
+// pktChunk is how many packets one pool refill allocates; the free list
+// is intrusive (threaded through Packet.Next), so a refill is a single
+// slab allocation and the steady state recycles without touching the heap.
+const pktChunk = 256
+
 // NewPacket takes a packet from the pool.
 func (n *Network) NewPacket(src, dst, flits int) *route.Packet {
-	var p *route.Packet
-	if m := len(n.pool); m > 0 {
-		p = n.pool[m-1]
-		n.pool = n.pool[:m-1]
-	} else {
-		p = &route.Packet{}
+	if n.pool == nil {
+		chunk := make([]route.Packet, pktChunk)
+		for i := range chunk[:pktChunk-1] {
+			chunk[i].Next = &chunk[i+1]
+		}
+		n.pool = &chunk[0]
 	}
+	p := n.pool
+	n.pool = p.Next
 	n.nextPkt++
 	sr, _ := n.Cfg.Topo.TerminalPort(src)
 	dr, _ := n.Cfg.Topo.TerminalPort(dst)
@@ -235,7 +291,8 @@ func (n *Network) NewPacket(src, dst, flits int) *route.Packet {
 
 // freePacket returns a packet to the pool.
 func (n *Network) freePacket(p *route.Packet) {
-	n.pool = append(n.pool, p)
+	p.Next = n.pool
+	n.pool = p
 }
 
 // InFlight reports how many packets have been injected but not delivered.

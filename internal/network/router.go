@@ -26,27 +26,37 @@ const (
 )
 
 // inputVC is one per-(port,VC) packet buffer. Occupancy accounting lives
-// at the sender as credits; the queue here holds the packets themselves.
+// at the sender as credits; the queue here holds the packets themselves,
+// as an intrusive FIFO through Packet.Next — a packet sits in exactly one
+// buffer, so queueing is pointer threading with no per-entry storage.
 type inputVC struct {
-	q    []*route.Packet
-	head int
+	head, tail *route.Packet
+	n          int32
 }
 
-func (iv *inputVC) empty() bool { return iv.head >= len(iv.q) }
+func (iv *inputVC) empty() bool { return iv.n == 0 }
 
-func (iv *inputVC) front() *route.Packet { return iv.q[iv.head] }
+func (iv *inputVC) front() *route.Packet { return iv.head }
 
-func (iv *inputVC) push(p *route.Packet) { iv.q = append(iv.q, p) }
+func (iv *inputVC) push(p *route.Packet) {
+	p.Next = nil
+	if iv.tail == nil {
+		iv.head = p
+	} else {
+		iv.tail.Next = p
+	}
+	iv.tail = p
+	iv.n++
+}
 
 func (iv *inputVC) pop() *route.Packet {
-	p := iv.q[iv.head]
-	iv.q[iv.head] = nil
-	iv.head++
-	if iv.head > 64 && iv.head*2 > len(iv.q) {
-		n := copy(iv.q, iv.q[iv.head:])
-		iv.q = iv.q[:n]
-		iv.head = 0
+	p := iv.head
+	iv.head = p.Next
+	if iv.head == nil {
+		iv.tail = nil
 	}
+	p.Next = nil
+	iv.n--
 	return p
 }
 
@@ -78,7 +88,7 @@ type waiter struct {
 type outputPort struct {
 	lat       sim.Time
 	busyUntil sim.Time
-	credits   []int // free flit slots downstream, per VC
+	credits   []int32 // free flit slots downstream, per VC
 	waiters   []*waiter
 
 	toTerminal int // terminal id, or -1
@@ -127,15 +137,25 @@ func (r *Router) Act(op uint8, a, b, c int32, p any) {
 	}
 }
 
+// waiterChunk is how many waiter structs one pool refill allocates: the
+// pool grows a slab at a time toward the router's high-water concurrency
+// instead of one struct per miss.
+const waiterChunk = 16
+
 // getWaiter takes a waiter from the pool, initialized for a new decision.
 func (r *Router) getWaiter(pkt *route.Packet, inPort int, inVC int8) *waiter {
-	var w *waiter
-	if n := len(r.wfree); n > 0 {
-		w = r.wfree[n-1]
-		r.wfree = r.wfree[:n-1]
-	} else {
-		w = &waiter{}
+	n := len(r.wfree)
+	if n == 0 {
+		//hxlint:allow allocfree — chunked pool refill: one slab per waiterChunk decisions, amortizing to zero at the router's high-water concurrency
+		chunk := make([]waiter, waiterChunk)
+		for i := range chunk {
+			//hxlint:allow allocfree — the free list grows once, to the refill slab's size, then recycles in place
+			r.wfree = append(r.wfree, &chunk[i])
+		}
+		n = len(r.wfree)
 	}
+	w := r.wfree[n-1]
+	r.wfree = r.wfree[:n-1]
 	*w = waiter{pkt: pkt, inPort: inPort, inVC: inVC, active: true}
 	return w
 }
@@ -146,23 +166,43 @@ func (r *Router) getWaiter(pkt *route.Packet, inPort int, inVC int8) *waiter {
 func (r *Router) putWaiter(w *waiter) {
 	w.pkt = nil
 	w.timer = nil
+	//hxlint:allow allocfree — returns capacity the pool already handed out; never exceeds the refill high-water mark
 	r.wfree = append(r.wfree, w)
 }
 
-func newRouter(n *Network, id int, rs *rng.Source) *Router {
+// routerSlabs hands a router its views into the network-level state
+// slabs: the router owns the subslices exclusively, but the backing
+// arrays are contiguous across all routers (see Network build).
+type routerSlabs struct {
+	in      []inputPort       // np ports
+	out     []outputPort      // np ports
+	vcs     []inputVC         // np*nv buffers
+	credits []int32           // np*nv downstream counters
+	waiterQ []*waiter         // np*nv pointer slots: cap nv per output
+	wstock  []waiter          // initial waiter-pool stock
+	wfree   []*waiter         // pool free-list backing, cap np*nv
+	cands   []route.Candidate // candidate scratch, cap = offered-port bound
+}
+
+// initRouter wires a slab-allocated Router in place.
+func initRouter(r *Router, n *Network, id int, rs *rng.Source, sl routerSlabs) {
 	topo := n.Cfg.Topo
 	np := topo.NumPorts()
-	r := &Router{net: n, id: id}
-	r.ctx = route.Ctx{Router: id, RNG: rs, ClassSense: n.Cfg.ClassSense, Cands: make([]route.Candidate, 0, 64)}
-	r.in = make([]inputPort, np)
-	r.out = make([]outputPort, np)
+	nv := n.Cfg.NumVCs
+	*r = Router{net: n, id: id, in: sl.in, out: sl.out}
+	r.ctx = route.Ctx{Router: id, RNG: rs, ClassSense: n.Cfg.ClassSense, Cands: sl.cands}
+	r.wfree = sl.wfree
+	for i := range sl.wstock {
+		r.wfree = append(r.wfree, &sl.wstock[i])
+	}
 	for p := 0; p < np; p++ {
 		ip := &r.in[p]
 		op := &r.out[p]
-		ip.vcs = make([]inputVC, n.Cfg.NumVCs)
+		ip.vcs = sl.vcs[p*nv : (p+1)*nv : (p+1)*nv]
 		ip.fromTerminal, ip.peerRouter, ip.peerPort = -1, -1, -1
 		op.toTerminal, op.peerRouter, op.peerPort = -1, -1, -1
-		op.credits = make([]int, n.Cfg.NumVCs)
+		op.credits = sl.credits[p*nv : (p+1)*nv : (p+1)*nv]
+		op.waiters = sl.waiterQ[p*nv : p*nv : (p+1)*nv]
 		switch topo.PortKind(id, p) {
 		case topology.Terminal:
 			t := topo.PortTerminal(id, p)
@@ -187,11 +227,10 @@ func newRouter(n *Network, id int, rs *rng.Source) *Router {
 				continue
 			}
 			for v := range op.credits {
-				op.credits[v] = n.Cfg.BufDepth
+				op.credits[v] = int32(n.Cfg.BufDepth)
 			}
 		}
 	}
-	return r
 }
 
 // view adapts the router's output state to route.View.
@@ -207,7 +246,7 @@ func (v *view) ClassLoad(port int, class int8) int {
 		best = 0
 	} else {
 		for _, vc := range r.net.classVCs[class] {
-			if occ := depth - o.credits[vc]; occ < best {
+			if occ := depth - int(o.credits[vc]); occ < best {
 				best = occ
 			}
 		}
@@ -223,7 +262,7 @@ func (v *view) PortLoad(port int) int {
 	if o.toTerminal < 0 {
 		depth := r.net.Cfg.BufDepth
 		for _, c := range o.credits {
-			total += depth - c
+			total += depth - int(c)
 		}
 	}
 	return total + o.queuedFlits + r.residual(o)
@@ -246,7 +285,7 @@ func (r *Router) arrive(p *route.Packet, port int, vc int8) {
 	iv := &r.in[port].vcs[vc]
 	p.VC = vc
 	iv.push(p)
-	if iv.head == len(iv.q)-1 { // became head
+	if iv.n == 1 { // became head
 		r.routeHead(port, vc)
 	}
 }
@@ -300,6 +339,7 @@ func (r *Router) routeHead(port int, vc int8) {
 		w.timer = r.net.K.AfterAct(r.net.Cfg.ReRouteInterval, r, opReroute, 0, 0, 0, w)
 	}
 	o := &r.out[w.cand.Port]
+	//hxlint:allow allocfree — the waiter queue is slab-backed with capacity for one waiter per VC of the port, the registration invariant's maximum
 	o.waiters = append(o.waiters, w)
 	o.queuedFlits += p.Len
 	r.attempt(w.cand.Port)
@@ -373,11 +413,11 @@ func (r *Router) pickVC(o *outputPort, class int8, flits int) int8 {
 	if o.toTerminal >= 0 {
 		return 0
 	}
-	need := flits
+	need := int32(flits)
 	if r.net.Cfg.AtomicVCAlloc {
-		need = r.net.Cfg.BufDepth
+		need = int32(r.net.Cfg.BufDepth)
 	}
-	best, bestCr := int8(-1), 0
+	best, bestCr := int8(-1), int32(0)
 	for _, vc := range r.net.classVCs[class] {
 		if cr := o.credits[vc]; cr >= need && cr > bestCr {
 			best, bestCr = vc, cr
@@ -463,7 +503,7 @@ func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 		k.AtAct(now+r.net.Cfg.XbarLat+o.lat, r.net, opDeliver, 0, 0, 0, p)
 	} else {
 		route.Commit(p, &cand)
-		o.credits[vc] -= flits
+		o.credits[vc] -= int32(flits)
 		p.VC = vc
 		if r.net.OnHop != nil {
 			r.net.OnHop(p, r.id, cand.Port, vc)
@@ -494,7 +534,7 @@ func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 // creditArrive restores downstream space on (port, vc) and retries the
 // output.
 func (r *Router) creditArrive(port int, vc int8, flits int) {
-	r.out[port].credits[vc] += flits
+	r.out[port].credits[vc] += int32(flits)
 	r.attempt(port)
 }
 

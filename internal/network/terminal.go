@@ -17,21 +17,23 @@ type Terminal struct {
 
 	lat       sim.Time
 	busyUntil sim.Time
-	credits   []int
-	q         []*route.Packet
-	head      int
+	credits   []int32
+
+	// Source queue: intrusive FIFO through Packet.Next (unbounded).
+	qhead, qtail *route.Packet
+	qlen         int
 
 	retryAt sim.Time
 }
 
-func newTerminal(n *Network, id int) *Terminal {
+// initTerminal wires a slab-allocated Terminal in place; credits is the
+// terminal's subslice of the network-level credit slab.
+func initTerminal(t *Terminal, n *Network, id int, credits []int32) {
 	r, p := n.Cfg.Topo.TerminalPort(id)
-	t := &Terminal{net: n, id: id, router: r, rport: p, lat: n.Cfg.TermChanLat}
-	t.credits = make([]int, n.Cfg.NumVCs)
+	*t = Terminal{net: n, id: id, router: r, rport: p, lat: n.Cfg.TermChanLat, credits: credits}
 	for v := range t.credits {
-		t.credits[v] = n.Cfg.BufDepth
+		t.credits[v] = int32(n.Cfg.BufDepth)
 	}
-	return t
 }
 
 // ID returns the terminal's index.
@@ -53,13 +55,20 @@ func (t *Terminal) Act(op uint8, a, b, _ int32, _ any) {
 }
 
 // QueueLen returns the number of packets waiting in the source queue.
-func (t *Terminal) QueueLen() int { return len(t.q) - t.head }
+func (t *Terminal) QueueLen() int { return t.qlen }
 
 // Send enqueues a packet created by Network.NewPacket for injection. The
 // packet's Birth is stamped with the current time.
 func (t *Terminal) Send(p *route.Packet) {
 	p.Birth = t.net.K.Now()
-	t.q = append(t.q, p)
+	p.Next = nil
+	if t.qtail == nil {
+		t.qhead = p
+	} else {
+		t.qtail.Next = p
+	}
+	t.qtail = p
+	t.qlen++
 	t.tryInject()
 }
 
@@ -67,25 +76,24 @@ func (t *Terminal) Send(p *route.Packet) {
 // credits and channel bandwidth allow.
 func (t *Terminal) tryInject() {
 	k := t.net.K
-	for t.head < len(t.q) {
+	for t.qhead != nil {
 		now := k.Now()
 		if t.busyUntil > now {
 			t.scheduleRetry(t.busyUntil)
 			return
 		}
-		p := t.q[t.head]
+		p := t.qhead
 		vc := t.pickVC(p.Len)
 		if vc < 0 {
 			return // wait for a credit event
 		}
-		t.q[t.head] = nil
-		t.head++
-		if t.head > 64 && t.head*2 > len(t.q) {
-			n := copy(t.q, t.q[t.head:])
-			t.q = t.q[:n]
-			t.head = 0
+		t.qhead = p.Next
+		if t.qhead == nil {
+			t.qtail = nil
 		}
-		t.credits[vc] -= p.Len
+		p.Next = nil
+		t.qlen--
+		t.credits[vc] -= int32(p.Len)
 		t.busyUntil = now + sim.Time(p.Len)
 		p.Inject = now
 		t.net.InjectedPackets++
@@ -99,11 +107,11 @@ func (t *Terminal) tryInject() {
 // Injection channels carry no deadlock constraint (terminals always
 // drain), so any VC is admissible.
 func (t *Terminal) pickVC(flits int) int8 {
-	need := flits
+	need := int32(flits)
 	if t.net.Cfg.AtomicVCAlloc {
-		need = t.net.Cfg.BufDepth
+		need = int32(t.net.Cfg.BufDepth)
 	}
-	best, bestCr := -1, 0
+	best, bestCr := -1, int32(0)
 	for vc, cr := range t.credits {
 		if cr >= need && cr > bestCr {
 			best, bestCr = vc, cr
@@ -122,6 +130,6 @@ func (t *Terminal) scheduleRetry(at sim.Time) {
 
 // creditArrive restores injection credits.
 func (t *Terminal) creditArrive(vc int8, flits int) {
-	t.credits[vc] += flits
+	t.credits[vc] += int32(flits)
 	t.tryInject()
 }

@@ -17,6 +17,7 @@
 package perf
 
 import (
+	"runtime"
 	"testing"
 
 	"hyperx"
@@ -101,6 +102,41 @@ func BenchRouterStep(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// sweepPoint runs one complete load-sweep point end to end — build,
+// warmup, measured window, drain — and returns the kernel events executed.
+// This is exactly the unit of work the parallel sweep harness schedules.
+func sweepPoint(b *testing.B, cfg hyperx.Config, load float64, warmup, window sim.Time) uint64 {
+	inst, err := hyperx.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := hyperx.NewPattern("UR", inst.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	end := warmup + window
+	col := stats.NewCollector(warmup, end)
+	inst.Net.OnDeliver = col.OnDeliver
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: 1, Max: 16},
+		Load:    load,
+		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
+	}
+	gen.Start(inst.Cfg.Seed)
+	inst.K.Run(end)
+	deadline := end + 10*window
+	for !col.Done() && inst.K.Now() < deadline {
+		inst.K.Run(inst.K.Now() + 2000)
+	}
+	gen.Stop()
+	if inst.Net.DeliveredPackets == 0 {
+		b.Fatal("sweep point delivered nothing")
+	}
+	return inst.K.Executed()
+}
+
 // BenchSweepPoint measures one complete load-sweep point end to end —
 // build, warmup, measured window, drain — exactly the unit of work the
 // parallel sweep harness schedules, at a reduced window so one iteration
@@ -115,36 +151,54 @@ func BenchSweepPoint(b *testing.B) {
 	)
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		inst, err := hyperx.Build(benchConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		pat, err := hyperx.NewPattern("UR", inst.Topo)
-		if err != nil {
-			b.Fatal(err)
-		}
-		warm := sim.Time(warmup)
-		end := warm + sim.Time(window)
-		col := stats.NewCollector(warm, end)
-		inst.Net.OnDeliver = col.OnDeliver
-		gen := &traffic.Generator{
-			Net:     inst.Net,
-			Pattern: pat,
-			Sizes:   traffic.UniformSize{Min: 1, Max: 16},
-			Load:    load,
-			OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
-		}
-		gen.Start(inst.Cfg.Seed)
-		inst.K.Run(end)
-		deadline := end + sim.Time(10*window)
-		for !col.Done() && inst.K.Now() < deadline {
-			inst.K.Run(inst.K.Now() + 2000)
-		}
-		gen.Stop()
-		if inst.Net.DeliveredPackets == 0 {
-			b.Fatal("sweep point delivered nothing")
-		}
-		events += inst.K.Executed()
+		events += sweepPoint(b, benchConfig(), load, warmup, window)
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchPaperScaleSweepPoint is BenchSweepPoint at the paper's true
+// evaluation scale — the 4,096-node 8x8x8 t=8 HyperX of Section 6 — with a
+// shortened measured window so one op stays around a second. Its
+// events/sec is the throughput that bounds full paper-figure regeneration;
+// its allocs/op is the whole-point heap traffic (dominated by the one-time
+// build, since the steady-state data path does not allocate).
+func BenchPaperScaleSweepPoint(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		load   = 0.6
+		warmup = 500
+		window = 500
+	)
+	cfg := hyperx.PaperScale()
+	cfg.Algorithm = "DimWAR"
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += sweepPoint(b, cfg, load, warmup, window)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchPaperScaleFootprint measures the memory cost of standing up the
+// paper-scale model: bytes/op is the total heap allocated to build the
+// 4,096-node network (routers, slab-backed queues and credit state, tables,
+// kernel reservation), and bytes/terminal normalizes it per node. This is
+// the build footprint a sweep worker pays per point before steady state.
+func BenchPaperScaleFootprint(b *testing.B) {
+	b.ReportAllocs()
+	cfg := hyperx.PaperScale()
+	cfg.Algorithm = "DimWAR"
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	start := ms.TotalAlloc
+	terms := 0
+	for i := 0; i < b.N; i++ {
+		inst, err := hyperx.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		terms = inst.Topo.NumTerminals()
+	}
+	runtime.ReadMemStats(&ms)
+	perBuild := float64(ms.TotalAlloc-start) / float64(b.N)
+	b.ReportMetric(perBuild/float64(terms), "bytes/terminal")
 }

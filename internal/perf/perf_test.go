@@ -10,3 +10,7 @@ func BenchmarkKernelSchedule(b *testing.B) { BenchKernelSchedule(b) }
 func BenchmarkRouterStep(b *testing.B) { BenchRouterStep(b) }
 
 func BenchmarkSweepPoint(b *testing.B) { BenchSweepPoint(b) }
+
+func BenchmarkPaperScaleSweepPoint(b *testing.B) { BenchPaperScaleSweepPoint(b) }
+
+func BenchmarkPaperScaleFootprint(b *testing.B) { BenchPaperScaleFootprint(b) }

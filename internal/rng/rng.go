@@ -55,6 +55,18 @@ func (s *Source) Derive(label uint64) *Source {
 	return New(mix(s.state ^ mix(label)))
 }
 
+// DeriveN derives n independent streams with labels base..base+n-1 into a
+// single backing slab; element i equals *Derive(base + i). Large models
+// (one stream per router or terminal) use this to keep stream derivation
+// a single allocation.
+func (s *Source) DeriveN(base uint64, n int) []Source {
+	out := make([]Source, n)
+	for i := range out {
+		out[i].state = mix(s.state ^ mix(base+uint64(i)))
+	}
+	return out
+}
+
 // DeriveSeed deterministically folds labels into a base seed, yielding a
 // new seed suitable for an independent simulation instance. With no
 // labels it returns base unchanged. Use it to give repeated trials or

@@ -39,6 +39,12 @@ type Packet struct {
 
 	// Tag carries application-model identification (message, phase, round).
 	Tag uint64
+
+	// Next is an intrusive link for whoever currently owns the packet —
+	// an input-VC buffer, a terminal source queue, or the free pool. A
+	// packet is in exactly one queue at a time (ownership transfers whole),
+	// so one link suffices and the queues need no per-entry allocation.
+	Next *Packet
 }
 
 // Reset clears routing state for (re)injection.

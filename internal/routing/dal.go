@@ -71,15 +71,16 @@ func (a *DAL) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 	if p.Class == 1 {
 		return cands
 	}
-	for d, w := range h.Widths {
+	for d := range h.Widths {
 		own := h.CoordDigit(r, d)
 		dstV := h.CoordDigit(dst, d)
 		if own == dstV {
 			continue
 		}
 		dim := int8(d)
+		minPort := h.DimPort(r, d, dstV)
 		cands = append(cands, route.Candidate{
-			Port:     h.DimPort(r, d, dstV),
+			Port:     minPort,
 			Class:    0,
 			HopsLeft: minRem,
 			Dim:      dim,
@@ -87,12 +88,15 @@ func (a *DAL) Route(ctx *route.Ctx, p *route.Packet) []route.Candidate {
 		if p.Derouted&(1<<uint(d)) != 0 {
 			continue // one deroute per dimension
 		}
-		for v := 0; v < w; v++ {
-			if v == own || v == dstV {
+		// Laterals via the dimension's port block (peer digit ascending,
+		// own skipped; the minimal port is v == dstV).
+		base, n := h.DimPortBlock(d)
+		for port := base; port < base+n; port++ {
+			if port == minPort {
 				continue
 			}
 			cands = append(cands, route.Candidate{
-				Port:     h.DimPort(r, d, v),
+				Port:     port,
 				Class:    0,
 				HopsLeft: minRem + 1,
 				Deroute:  true,

@@ -69,6 +69,48 @@ func TestClosureScheduleDispatchZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestReserveColdScheduleZeroAlloc: a kernel pre-sized with Reserve
+// schedules and dispatches without any warm-up traffic — the build-time
+// path the network model uses so a sweep point's first cycles don't pay
+// pool-growth allocations.
+func TestReserveColdScheduleZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	act := &countActor{}
+	k.Reserve(1024, 8)
+	allocs := testing.AllocsPerRun(2000, func() {
+		k.AtAct(k.Now()+1, act, 0, 0, 0, 0, nil)
+		k.AtAct(k.Now()+3, act, 0, 0, 0, 0, nil)
+		k.Step()
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("reserved kernel schedule+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReservePreservesPendingOrder: Reserve re-slabs buckets that already
+// hold events; their FIFO order must survive the copy.
+func TestReservePreservesPendingOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 40; i++ {
+		i := i
+		k.At(Time(1+i%5), func() { got = append(got, i) })
+	}
+	k.Reserve(512, 16)
+	k.Run(0)
+	if len(got) != 40 {
+		t.Fatalf("executed %d events, want 40", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		// Same-time events (equal i%5) must keep schedule order.
+		if a%5 == b%5 && a > b {
+			t.Fatalf("FIFO violated after Reserve: %d before %d", a, b)
+		}
+	}
+}
+
 // TestTypedEventDelivery: AtAct passes the op code, arguments, and payload
 // through to the actor unchanged, at the scheduled time.
 func TestTypedEventDelivery(t *testing.T) {

@@ -143,18 +143,67 @@ func (k *Kernel) Executed() uint64 { return k.nexec }
 // count until they are popped and recycled).
 func (k *Kernel) Pending() int { return k.npend }
 
+// eventChunk is how many Event structs one pool refill allocates. Growing
+// the pool a chunk at a time turns the warm-up phase's per-event heap
+// allocations into one slab per 256 events; the steady state never
+// refills at all.
+const eventChunk = 256
+
+// refill stocks the free list with a fresh chunk of events.
+func (k *Kernel) refill() {
+	//hxlint:allow allocfree — chunked pool refill: one slab per eventChunk events, amortizing to zero once the pool reaches its high-water mark
+	chunk := make([]Event, eventChunk)
+	for i := range chunk {
+		//hxlint:allow allocfree — the free list grows once, to the refill slab's size, then recycles in place
+		k.free = append(k.free, &chunk[i])
+	}
+}
+
+// Reserve pre-sizes the kernel's pools for a model of known scale:
+// nEvents pooled Event structs and perBucket slots of calendar-bucket
+// capacity, each backed by a single slab instead of incremental append
+// growth. Purely a capacity hint — event order is unaffected — so models
+// call it once at build time with their high-water estimate; the pools
+// still grow on demand if the estimate is low.
+func (k *Kernel) Reserve(nEvents, perBucket int) {
+	if n := nEvents - len(k.free); n > 0 {
+		//hxlint:allow allocfree — Reserve is the explicit build-time pre-sizing hook; models call it before steady state
+		chunk := make([]Event, n)
+		for i := range chunk {
+			//hxlint:allow allocfree — build-time stocking of the free list, see above
+			k.free = append(k.free, &chunk[i])
+		}
+	}
+	if perBucket <= 0 {
+		return
+	}
+	//hxlint:allow allocfree — build-time bucket slab, carved up below; this is what makes enqueue growth-free afterwards
+	slab := make([]*Event, ringSize*perBucket)
+	for i := range k.ring {
+		b := &k.ring[i]
+		pending := len(b.q) - b.head
+		if cap(b.q) >= perBucket || pending > perBucket {
+			continue
+		}
+		q := slab[i*perBucket : i*perBucket+pending : (i+1)*perBucket]
+		copy(q, b.q[b.head:])
+		b.q = q
+		b.head = 0
+	}
+}
+
 // alloc takes an event from the pool and stamps its (time, seq).
 func (k *Kernel) alloc(t Time) *Event {
 	if t < k.now {
 		panic("sim: event scheduled in the past")
 	}
-	var e *Event
-	if n := len(k.free); n > 0 {
-		e = k.free[n-1]
-		k.free = k.free[:n-1]
-	} else {
-		e = &Event{}
+	n := len(k.free)
+	if n == 0 {
+		k.refill()
+		n = len(k.free)
 	}
+	e := k.free[n-1]
+	k.free = k.free[:n-1]
 	e.at = t
 	e.seq = k.seq
 	e.dead = false
@@ -171,9 +220,11 @@ func (k *Kernel) enqueue(e *Event) {
 		k.far.push(e)
 	case e.at >= k.winStart:
 		b := &k.ring[int(e.at)&ringMask]
+		//hxlint:allow allocfree — bucket capacity grows to the model's high-water occupancy and is then reused forever; Reserve pre-sizes it for spiky schedules
 		b.q = append(b.q, e)
 		k.nring++
 	default:
+		//hxlint:allow allocfree — the late list is practically always empty; only the pathological behind-window path ever grows it
 		k.late = append(k.late, e)
 	}
 }
@@ -183,6 +234,7 @@ func (k *Kernel) recycle(e *Event) {
 	e.fn = nil
 	e.act = nil
 	e.p = nil
+	//hxlint:allow allocfree — returns capacity the pool already handed out; never exceeds the refill high-water mark
 	k.free = append(k.free, e)
 }
 
@@ -251,6 +303,7 @@ func (k *Kernel) advanceWindow(to Time) {
 	for len(k.far.h) > 0 && k.far.h[0].at < horizon {
 		e := k.far.pop()
 		b := &k.ring[int(e.at)&ringMask]
+		//hxlint:allow allocfree — far-heap migration lands inside the bucket's retained high-water capacity
 		b.q = append(b.q, e)
 		k.nring++
 	}
@@ -295,12 +348,11 @@ func (k *Kernel) peekLate() *Event {
 	return best
 }
 
-// pop removes and returns the earliest queued event, or nil when empty.
-func (k *Kernel) pop() *Event {
-	e := k.peek()
-	if e == nil {
-		return nil
-	}
+// popPeeked removes e, which must be the event peek just returned: the
+// (time, seq)-minimal queued event, already windowed into its bucket.
+// Splitting peek from removal lets Run inspect the head against its until-
+// boundary and then remove it without a second calendar scan.
+func (k *Kernel) popPeeked(e *Event) {
 	if len(k.late) > 0 {
 		for i, x := range k.late {
 			if x == e {
@@ -320,7 +372,34 @@ func (k *Kernel) pop() *Event {
 	}
 	e.queued = false
 	k.npend--
+}
+
+// pop removes and returns the earliest queued event, or nil when empty.
+func (k *Kernel) pop() *Event {
+	e := k.peek()
+	if e == nil {
+		return nil
+	}
+	k.popPeeked(e)
 	return e
+}
+
+// exec advances the clock to e and runs its callback, recycling e first so
+// the callback can immediately reschedule from a warm pool.
+func (k *Kernel) exec(e *Event) {
+	k.now = e.at
+	k.nexec++
+	if k.TraceExec != nil {
+		k.TraceExec(e.at, e.seq)
+	}
+	if fn := e.fn; fn != nil {
+		k.recycle(e)
+		fn()
+	} else {
+		act, op, a, b, c, p := e.act, e.op, e.a, e.b, e.c, e.p
+		k.recycle(e)
+		act.Act(op, a, b, c, p)
+	}
 }
 
 // Step executes the next pending event. It returns false when the queue is
@@ -335,19 +414,7 @@ func (k *Kernel) Step() bool {
 			k.recycle(e)
 			continue
 		}
-		k.now = e.at
-		k.nexec++
-		if k.TraceExec != nil {
-			k.TraceExec(e.at, e.seq)
-		}
-		if fn := e.fn; fn != nil {
-			k.recycle(e)
-			fn()
-		} else {
-			act, op, a, b, c, p := e.act, e.op, e.a, e.b, e.c, e.p
-			k.recycle(e)
-			act.Act(op, a, b, c, p)
-		}
+		k.exec(e)
 		return true
 	}
 }
@@ -367,8 +434,19 @@ func (k *Kernel) Run(until Time) Time {
 			k.now = until
 			break
 		}
-		if !k.Step() {
-			break
+		// Pop until a live event executes. Dead events skip straight to the
+		// next one without rechecking the until-boundary — the historical
+		// Step-loop behaviour the golden trace pins.
+		for {
+			k.popPeeked(e)
+			if !e.dead {
+				k.exec(e)
+				break
+			}
+			k.recycle(e)
+			if e = k.peek(); e == nil {
+				return k.now
+			}
 		}
 	}
 	return k.now
@@ -405,8 +483,18 @@ func (k *Kernel) RunCtx(ctx context.Context, until Time) (Time, error) {
 			k.now = until
 			break
 		}
-		if !k.Step() {
-			break
+		// Mirror Run's pop-until-live loop (see there for why dead events
+		// skip the until recheck).
+		for {
+			k.popPeeked(e)
+			if !e.dead {
+				k.exec(e)
+				break
+			}
+			k.recycle(e)
+			if e = k.peek(); e == nil {
+				return k.now, nil
+			}
 		}
 	}
 	return k.now, nil
@@ -428,6 +516,7 @@ func (f *farHeap) less(i, j int) bool {
 }
 
 func (f *farHeap) push(e *Event) {
+	//hxlint:allow allocfree — the far heap holds the rare beyond-window tail and keeps its high-water capacity across pushes
 	f.h = append(f.h, e)
 	i := len(f.h) - 1
 	for i > 0 {

@@ -25,6 +25,8 @@ type HyperX struct {
 	nr      int   // number of routers
 	radix   int   // ports per router
 	strides []int // mixed-radix strides for coordinate <-> id
+
+	tab tables // precomputed digit/port/neighbor lookups (see tables.go)
 }
 
 // NewHyperX builds a HyperX with the given per-dimension widths and
@@ -46,12 +48,16 @@ func NewHyperX(widths []int, terms int) (*HyperX, error) {
 		if w < 2 {
 			return nil, fmt.Errorf("hyperx: dimension %d width must be >= 2, got %d", d, w)
 		}
+		if w > 1<<15 {
+			return nil, fmt.Errorf("hyperx: dimension %d width %d exceeds table limit %d", d, w, 1<<15)
+		}
 		h.dimOff[d] = off
 		h.strides[d] = h.nr
 		off += w - 1
 		h.radix += w - 1
 		h.nr *= w
 	}
+	h.buildTables()
 	return h, nil
 }
 
@@ -90,9 +96,10 @@ func (h *HyperX) NumPorts() int { return h.radix }
 // NumDims) and returns it. Passing a caller-owned slice avoids allocation
 // in routing hot paths.
 func (h *HyperX) Coord(r int, out []int) []int {
-	for d, w := range h.Widths {
-		out[d] = r % w
-		r /= w
+	L := len(h.Widths)
+	row := h.tab.digits[r*L : r*L+L]
+	for d := range out {
+		out[d] = int(row[d])
 	}
 	return out
 }
@@ -100,7 +107,7 @@ func (h *HyperX) Coord(r int, out []int) []int {
 // CoordDigit returns coordinate digit d of router r without materializing
 // the full coordinate.
 func (h *HyperX) CoordDigit(r, d int) int {
-	return (r / h.strides[d]) % h.Widths[d]
+	return int(h.tab.digits[r*len(h.Widths)+d])
 }
 
 // RouterAt returns the router ID at the given coordinate.
@@ -122,35 +129,24 @@ func (h *HyperX) WithDigit(r, d, v int) int {
 // DimPort returns the output port of router r that reaches coordinate
 // value v in dimension d. It panics if v equals r's own coordinate.
 func (h *HyperX) DimPort(r, d, v int) int {
-	own := h.CoordDigit(r, d)
-	if v == own {
+	w := h.Widths[d]
+	p := h.tab.portOf[h.tab.dimBase[d]+h.CoordDigit(r, d)*w+v]
+	if p < 0 {
 		panic("hyperx: DimPort to own coordinate")
 	}
-	idx := v
-	if v > own {
-		idx--
-	}
-	return h.dimOff[d] + idx
+	return int(p)
 }
 
 // PortDim decodes a router-link port into its dimension and the peer's
 // coordinate value in that dimension. It returns (-1, -1) for terminal
 // ports.
 func (h *HyperX) PortDim(r, p int) (dim, peerVal int) {
-	if p < h.Terms {
+	d := int(h.tab.portDim[p])
+	if d < 0 {
 		return -1, -1
 	}
-	for d := len(h.Widths) - 1; d >= 0; d-- {
-		if p >= h.dimOff[d] {
-			idx := p - h.dimOff[d]
-			own := h.CoordDigit(r, d)
-			if idx >= own {
-				idx++
-			}
-			return d, idx
-		}
-	}
-	return -1, -1
+	own := h.CoordDigit(r, d)
+	return d, int(h.tab.peerVal[h.tab.valBase[d]+own*(h.Widths[d]-1)+(p-h.dimOff[d])])
 }
 
 // PortKind implements Topology.
@@ -164,7 +160,7 @@ func (h *HyperX) PortKind(r, p int) LinkKind {
 		// Dimension 0 is packaged closest (in-cabinet); call it Local and
 		// all higher dimensions Global. Routing does not depend on this;
 		// the cost model and channel latencies may.
-		if d, _ := h.PortDim(r, p); d == 0 {
+		if h.tab.portDim[p] == 0 {
 			return Local
 		}
 		return Global
@@ -173,12 +169,39 @@ func (h *HyperX) PortKind(r, p int) LinkKind {
 
 // Peer implements Topology.
 func (h *HyperX) Peer(r, p int) (int, int) {
-	d, v := h.PortDim(r, p)
-	if d < 0 {
+	peer := h.PeerRouter(r, p)
+	if peer < 0 {
 		panic("hyperx: Peer of non-router port")
 	}
-	peer := h.WithDigit(r, d, v)
-	return peer, h.DimPort(peer, d, h.CoordDigit(r, d))
+	d := int(h.tab.portDim[p])
+	w := h.Widths[d]
+	back := h.tab.portOf[h.tab.dimBase[d]+h.CoordDigit(peer, d)*w+h.CoordDigit(r, d)]
+	return peer, int(back)
+}
+
+// PeerRouter returns the router on the far side of port p of router r, or
+// -1 for terminal ports — a single table load, for routing hot paths that
+// do not need the peer's ingress port.
+func (h *HyperX) PeerRouter(r, p int) int {
+	return int(h.tab.peer[r*h.radix+p])
+}
+
+// DimPortBlock returns the first port and port count of dimension d's
+// block. Iterating [base, base+n) visits the dimension's peers in
+// ascending coordinate order with the router's own digit skipped — the
+// same order the deroute loops in internal/routing enumerate laterals, so
+// they can walk ports directly instead of re-deriving them per digit.
+func (h *HyperX) DimPortBlock(d int) (base, n int) {
+	return h.dimOff[d], h.Widths[d] - 1
+}
+
+// OfferedPorts returns the largest candidate set any routing decision can
+// offer on this topology: every router-link port (minimal ports are part
+// of their dimension's block), plus one spare so an algorithm may add a
+// terminal/eject entry. Routers size their candidate scratch from this so
+// paper-scale radix can never force a mid-decision grow.
+func (h *HyperX) OfferedPorts() int {
+	return h.radix - h.Terms + 1
 }
 
 // PortTerminal implements Topology.
@@ -197,11 +220,12 @@ func (h *HyperX) TerminalPort(t int) (int, int) {
 // MinHops implements Topology: the number of differing coordinate digits,
 // since every dimension is fully connected.
 func (h *HyperX) MinHops(a, b int) int {
+	L := len(h.Widths)
+	da := h.tab.digits[a*L : a*L+L]
+	db := h.tab.digits[b*L : b*L+L]
 	hops := 0
-	for d, w := range h.Widths {
-		sa := (a / h.strides[d]) % w
-		sb := (b / h.strides[d]) % w
-		if sa != sb {
+	for d := range da {
+		if da[d] != db[d] {
 			hops++
 		}
 	}
@@ -211,10 +235,11 @@ func (h *HyperX) MinHops(a, b int) int {
 // UnalignedDims appends to buf the dimensions in which routers a and b
 // differ, in ascending order, and returns the result.
 func (h *HyperX) UnalignedDims(a, b int, buf []int) []int {
-	for d, w := range h.Widths {
-		sa := (a / h.strides[d]) % w
-		sb := (b / h.strides[d]) % w
-		if sa != sb {
+	L := len(h.Widths)
+	da := h.tab.digits[a*L : a*L+L]
+	db := h.tab.digits[b*L : b*L+L]
+	for d := range da {
+		if da[d] != db[d] {
 			buf = append(buf, d)
 		}
 	}
@@ -225,8 +250,11 @@ func (h *HyperX) UnalignedDims(a, b int, buf []int) []int {
 // or -1 if a == b. Dimension-ordered algorithms traverse dimensions in
 // ascending order.
 func (h *HyperX) FirstUnalignedDim(a, b int) int {
-	for d, w := range h.Widths {
-		if (a/h.strides[d])%w != (b/h.strides[d])%w {
+	L := len(h.Widths)
+	da := h.tab.digits[a*L : a*L+L]
+	db := h.tab.digits[b*L : b*L+L]
+	for d := range da {
+		if da[d] != db[d] {
 			return d
 		}
 	}

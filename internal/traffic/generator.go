@@ -59,7 +59,7 @@ type Generator struct {
 	SelfRedirects uint64
 
 	stopped bool
-	streams []*rng.Source
+	streams []rng.Source
 	carry   []float64 // per-terminal fractional-cycle remainder of the gap sequence
 }
 
@@ -73,10 +73,9 @@ func (g *Generator) Start(seed uint64) {
 	//hxlint:allow seedflow — frozen stream constant: every published sweep CSV (fig6*, resilience) was produced from this exact XOR-separated stream, and rewriting it through DeriveSeed would change every result byte; new streams must use rng.DeriveSeed
 	master := rng.New(seed ^ 0xdeadbeefcafef00d)
 	n := len(g.Net.Terminals)
-	g.streams = make([]*rng.Source, n)
+	g.streams = master.DeriveN(0, n)
 	g.carry = make([]float64, n)
 	for t := 0; t < n; t++ {
-		g.streams[t] = master.Derive(uint64(t))
 		g.scheduleNext(t, g.initialGap(t))
 	}
 }
@@ -111,7 +110,7 @@ func (g *Generator) inject(t int) {
 	if g.stopped {
 		return
 	}
-	rs := g.streams[t]
+	rs := &g.streams[t]
 	size := g.Sizes.Draw(rs)
 	dst := g.Pattern.Dest(t, rs)
 	if dst == t {

@@ -26,4 +26,10 @@ go run ./cmd/hxstencil -bytes 100000 -iters 16 -algs DimWAR,OmniWAR,UGAL,UGAL+ >
 go run ./cmd/hxstencil -fig4 -bytes 100000 > results/fig4.csv
 go run ./cmd/hxcost -fig 2 > results/fig2.csv
 go run ./cmd/hxcost -fig 3 > results/fig3.csv
+# Paper scale (PAPER=1): the true 4,096-node 8x8x8 t=8 UR panel, with a
+# reduced warmup/window that keeps the serial run around ten minutes.
+# Deterministic and manifest-logged like every other sweep.
+if [ "${PAPER:-0}" = 1 ]; then
+  go run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR,OmniWAR -step 0.1     -warmup 10000 -window 10000 -paper -j "$JOBS"     -manifest results/fig6_UR_paper.manifest.json > results/fig6_UR_paper.csv
+fi
 echo ALL_DONE
