@@ -4,9 +4,9 @@
 # -race), and a short-deadline smoke sweep through the parallel engine.
 GO ?= go
 
-.PHONY: ci vet lint build test race quick smoke faultsmoke fuzzshort cover bench
+.PHONY: ci vet lint build test race quick smoke faultsmoke ckptsmoke fuzzshort cover bench
 
-ci: vet lint build test race smoke faultsmoke fuzzshort cover bench
+ci: vet lint build test race smoke faultsmoke ckptsmoke fuzzshort cover bench
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,30 @@ faultsmoke:
 		{ print "FAIL: " $$1 " dropped " $$9 " packets with 2 faults"; bad=1 } \
 		END { exit bad }' /tmp/hxsweep-faultsmoke.csv
 	@echo faultsmoke OK
+
+# Checkpoint round-trip smoke: a cold sweep, then a pristine-fork sweep
+# populating a checkpoint store — its CSV must be byte-identical to the
+# cold one (the warm-fork acceptance claim) — then a rerun against the
+# populated store, which must serve both curves from disk and still emit
+# the identical CSV with the provenance block recording the resume.
+ckptsmoke:
+	rm -rf /tmp/hx-ckpt-store
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,VAL -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q > /tmp/hx-ckpt-cold.csv
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,VAL -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q -warmfork \
+		-checkpoint-dir /tmp/hx-ckpt-store > /tmp/hx-ckpt-fork.csv
+	cmp /tmp/hx-ckpt-cold.csv /tmp/hx-ckpt-fork.csv
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,VAL -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q -warmfork \
+		-checkpoint-dir /tmp/hx-ckpt-store \
+		-manifest /tmp/hx-ckpt-resume.json > /tmp/hx-ckpt-resume.csv
+	cmp /tmp/hx-ckpt-fork.csv /tmp/hx-ckpt-resume.csv
+	@grep -q '"cached_jobs": 2' /tmp/hx-ckpt-resume.json || \
+		{ echo "FAIL: resume did not serve both curves from the store"; exit 1; }
+	@grep -q '"mode": "pristine-fork"' /tmp/hx-ckpt-resume.json || \
+		{ echo "FAIL: manifest provenance missing the fork mode"; exit 1; }
+	@echo ckptsmoke OK
 
 # Short native-fuzz pass over the HyperX coordinate algebra. The seed
 # corpus is committed under internal/topology/testdata/fuzz; ten seconds

@@ -1,0 +1,267 @@
+package hyperx
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointStoreRoundTrip: basic store semantics — a saved value
+// loads back equal, an absent key is a clean miss, and a filename hash
+// collision with a different key is also a clean miss (the stored full
+// key disambiguates), never a wrong answer.
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	store, err := OpenCheckpointDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pointRecord{
+		Point: LoadPoint{Load: 0.3, Mean: 123.5, Accepted: 0.299, Samples: 777, Delivered: 901},
+		Stats: simStats{Cycles: 40000, Events: 123456, Delivered: 901},
+	}
+	const key = "point|test|roundtrip"
+	var got pointRecord
+	if ok, err := store.Load(key, &got); err != nil || ok {
+		t.Fatalf("Load before Save = (%v, %v), want clean miss", ok, err)
+	}
+	if err := store.Save(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := store.Load(key, &got); err != nil || !ok {
+		t.Fatalf("Load after Save = (%v, %v), want hit", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the record:\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	// Forge a collision: a file at key's path whose stored key differs.
+	env, _ := json.Marshal(checkpointFile{Version: checkpointVersion, Key: "point|other|experiment"})
+	if err := os.WriteFile(store.path(key), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := store.Load(key, &got); err != nil || ok {
+		t.Errorf("Load against a colliding file = (%v, %v), want clean miss", ok, err)
+	}
+}
+
+// TestCheckpointStoreRejectsDamage: a damaged checkpoint must surface as
+// an explicit error — never a silent recompute (the operator decides
+// whether to delete it) and never a parsed-anyway wrong result.
+func TestCheckpointStoreRejectsDamage(t *testing.T) {
+	const key = "point|test|damage"
+	newStore := func() *CheckpointStore {
+		store, err := OpenCheckpointDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(key, pointRecord{Point: LoadPoint{Load: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	cases := []struct {
+		name    string
+		damage  func(t *testing.T, path string)
+		wantErr string
+	}{
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not json at all{{{"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "corrupt or truncated"},
+		{"truncated", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "corrupt or truncated"},
+		{"version-mismatch", func(t *testing.T, path string) {
+			env, _ := json.Marshal(checkpointFile{Version: checkpointVersion + 1, Key: key, Payload: []byte("{}")})
+			if err := os.WriteFile(path, env, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "format version"},
+		{"payload-corruption", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip one payload byte; the envelope still parses but the
+			// CRC no longer matches.
+			i := strings.Index(string(b), `"Load":0.5`)
+			if i < 0 {
+				t.Fatalf("payload marker not found in %s", b)
+			}
+			b[i+len(`"Load":0.`)] = '6'
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "checksum"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			store := newStore()
+			c.damage(t, store.path(key))
+			var rec pointRecord
+			ok, err := store.Load(key, &rec)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Load = (%v, %v), want error containing %q", ok, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestSweepCheckpointResume: the kill-and-resume acceptance claim. A
+// sweep interrupted partway leaves completed points in the store; the
+// rerun with identical parameters serves those from the store, computes
+// the rest, and returns curves identical to an uninterrupted run — with
+// the manifest recording which jobs were cached and where from.
+func TestSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	loads := LoadRange(0.2)
+	patterns, algs := []string{"UR"}, []string{"DOR", "VAL"}
+	cfg := DefaultScale()
+
+	want, _, err := RunLoadSweepParallel(context.Background(), cfg,
+		patterns, algs, loads, opts, SweepOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// "Kill" a run partway: cancel the context as soon as the first job
+	// completes. Completed points are already persisted (saves happen
+	// inside the job, before the outcome is reported).
+	ctx, cancel := context.WithCancel(context.Background())
+	_, _, err = RunLoadSweepParallel(ctx, cfg, patterns, algs, loads, opts,
+		SweepOpts{Workers: 2, CheckpointDir: dir, Progress: func(string) { cancel() }})
+	if err == nil {
+		t.Fatal("interrupted sweep reported success; cancellation did not take")
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("interrupted sweep persisted nothing; resume has nothing to serve")
+	}
+
+	got, mani, err := RunLoadSweepParallel(context.Background(), cfg,
+		patterns, algs, loads, opts, SweepOpts{Workers: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed sweep diverged from uninterrupted run:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if mani.Provenance == nil {
+		t.Fatal("resumed sweep has no provenance block")
+	}
+	if mani.Provenance.ResumedFrom != dir {
+		t.Errorf("provenance resumed_from = %q, want %q", mani.Provenance.ResumedFrom, dir)
+	}
+	if mani.Provenance.CachedJobs == 0 {
+		t.Error("resume served no cached jobs despite a populated store")
+	}
+	cached := 0
+	for _, rec := range mani.Jobs {
+		if rec.Cached {
+			if rec.Status != "done" {
+				t.Errorf("cached job %s has status %q, want done", rec.Label, rec.Status)
+			}
+			cached++
+		}
+	}
+	if cached != mani.Provenance.CachedJobs {
+		t.Errorf("provenance counts %d cached jobs, job records mark %d", mani.Provenance.CachedJobs, cached)
+	}
+
+	// Third run: every point the result includes was stored by the
+	// second run, so all of them must now be served from the store.
+	again, mani3, err := RunLoadSweepParallel(context.Background(), cfg,
+		patterns, algs, loads, opts, SweepOpts{Workers: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("fully cached sweep diverged from uninterrupted run")
+	}
+	returned := 0
+	for _, c := range want {
+		returned += len(c.Points)
+	}
+	if mani3.Provenance == nil || mani3.Provenance.CachedJobs < returned {
+		t.Errorf("third run served %+v cached jobs, want at least the %d returned points", mani3.Provenance, returned)
+	}
+}
+
+// TestForkSweepCheckpointResume: warm-fork curves checkpoint as whole
+// curves; a rerun serves them from the store byte-identically.
+func TestForkSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Algorithm: "DimWAR", Seed: 1}
+	opts := RunOpts{Warmup: 1000, Window: 1000}
+	fork := &ForkOpts{WarmCycles: 2000, WarmLoad: 0.3, Settle: 250}
+	dir := t.TempDir()
+	run := func() ([]Curve, *Manifest) {
+		curves, mani, err := RunLoadSweepParallel(context.Background(), cfg,
+			[]string{"UR"}, []string{"DOR", "DimWAR"}, LoadRange(0.2), opts,
+			SweepOpts{Workers: 2, CheckpointDir: dir, Fork: fork})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curves, mani
+	}
+	first, mani1 := run()
+	if mani1.Provenance == nil || mani1.Provenance.CachedJobs != 0 {
+		t.Errorf("first run provenance %+v, want 0 cached jobs", mani1.Provenance)
+	}
+	second, mani2 := run()
+	if !reflect.DeepEqual(second, first) {
+		t.Error("cached warm-fork sweep diverged from the run that populated the store")
+	}
+	if mani2.Provenance == nil || mani2.Provenance.CachedJobs != 2 {
+		t.Errorf("second run provenance %+v, want both curves cached", mani2.Provenance)
+	}
+}
+
+// TestSweepSurfacesCorruptCheckpoint: a damaged checkpoint file fails
+// the sweep with an explicit, actionable error instead of silently
+// recomputing or — worse — feeding garbage into the CSV.
+func TestSweepSurfacesCorruptCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	opts := RunOpts{Warmup: 1000, Window: 1000}
+	loads := []float64{0.2}
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Seed: 1}
+	dir := t.TempDir()
+	store, err := OpenCheckpointDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant garbage exactly where the sweep's one job will look.
+	ccfg := cfg.withDefaults()
+	ccfg.Algorithm = "DOR"
+	key := pointKey(ccfg, "UR", loads[0], opts.withDefaults())
+	if err := os.WriteFile(store.path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = RunLoadSweepParallel(context.Background(), cfg,
+		[]string{"UR"}, []string{"DOR"}, loads, opts, SweepOpts{CheckpointDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("sweep over a corrupt checkpoint returned %v, want an explicit corruption error", err)
+	}
+}

@@ -61,6 +61,7 @@ var suite = []struct {
 	{"BenchmarkRouterStep", perf.BenchRouterStep},
 	{"BenchmarkSweepPoint", perf.BenchSweepPoint},
 	{"BenchmarkPaperScaleSweepPoint", perf.BenchPaperScaleSweepPoint},
+	{"BenchmarkSnapshotRestore", perf.BenchSnapshotRestore},
 	{"BenchmarkPaperScaleFootprint", perf.BenchPaperScaleFootprint},
 }
 

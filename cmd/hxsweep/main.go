@@ -53,6 +53,11 @@ func main() {
 		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); results are identical at any -j")
 		manifest   = flag.String("manifest", "", "write a JSON run manifest (per-job wall time, cycles, events/sec) to this file")
 		quiet      = flag.Bool("q", false, "suppress the per-job progress lines on stderr")
+		warmfork   = flag.Bool("warmfork", false, "fork each curve's load points from one shared pristine snapshot (bit-identical CSV, one network build per curve)")
+		forkwarm   = flag.Int("forkwarm", 0, "warm the shared snapshot this many cycles at -forkload before forking (implies -warmfork; amortizes warmup across points — deterministic but NOT byte-comparable to cold CSVs, see EXPERIMENTS.md)")
+		forkload   = flag.Float64("forkload", 0.5, "offered load during the -forkwarm shared warmup")
+		forksettle = flag.Int("forksettle", 0, "post-fork settle cycles per point for -forkwarm (0 = warmup/4)")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist completed results here and resume from them on rerun (kill+rerun with identical flags yields a byte-identical CSV)")
 	)
 	flag.Parse()
 
@@ -65,9 +70,12 @@ func main() {
 	cfg.FaultSeed = *faultseed
 	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window}
 	algList := split(*algs)
-	po := hyperx.SweepOpts{Workers: *jobs}
+	po := hyperx.SweepOpts{Workers: *jobs, CheckpointDir: *ckptDir}
 	if !*quiet {
 		po.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *warmfork || *forkwarm > 0 {
+		po.Fork = &hyperx.ForkOpts{WarmCycles: *forkwarm, WarmLoad: *forkload, Settle: *forksettle}
 	}
 	ctx := context.Background()
 

@@ -44,6 +44,7 @@ import (
 // the observability layer and the early-stop logic.
 type Outcome struct {
 	Saturated bool   // point saturated: cancels higher points on the curve
+	Cached    bool   // served from a checkpoint store, not simulated now
 	Cycles    int64  // simulated cycles at the end of the run
 	Events    uint64 // kernel events executed (sim.Kernel.Executed)
 	Delivered uint64 // packets delivered over the run (fault observability)

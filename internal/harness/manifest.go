@@ -22,6 +22,11 @@ type JobRecord struct {
 	Status string `json:"status"` // "done", "cancelled", or "failed"
 	Error  string `json:"error,omitempty"`
 
+	// Cached marks a job whose result was served from the checkpoint
+	// store instead of being simulated in this run; its counters describe
+	// the original run that produced the result.
+	Cached bool `json:"cached,omitempty"`
+
 	Saturated    bool    `json:"saturated,omitempty"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	SimCycles    int64   `json:"sim_cycles"`
@@ -58,7 +63,27 @@ type Manifest struct {
 	TotalDelivered uint64   `json:"total_delivered"`
 	TotalDropped   uint64   `json:"total_dropped,omitempty"`
 
+	// Provenance records how the results were produced beyond plain
+	// cold-start simulation (warm forking, checkpoint resume); nil means
+	// every job was simulated cold in this run. The facade fills it.
+	Provenance *Provenance `json:"provenance,omitempty"`
+
 	Jobs []JobRecord `json:"jobs"`
+}
+
+// Provenance is the auditability record for sweeps that reuse state:
+// which fork methodology produced the numbers, the seed the shared warm
+// phase ran under, where the fork point sat, and which checkpoint store
+// cached results were served from. See docs/STATE.md for the methodology
+// contract behind each mode.
+type Provenance struct {
+	Mode        string  `json:"mode"`                   // "cold", "pristine-fork", or "warm-fork"
+	WarmSeed    uint64  `json:"warm_seed,omitempty"`    // seed of the shared warm phase (fork modes)
+	ForkCycles  int     `json:"fork_cycles,omitempty"`  // fork point, cycles into the warm phase
+	ForkLoad    float64 `json:"fork_load,omitempty"`    // offered load during the warm phase
+	ForkSettle  int     `json:"fork_settle,omitempty"`  // post-fork settle cycles per point
+	ResumedFrom string  `json:"resumed_from,omitempty"` // checkpoint directory serving cached jobs
+	CachedJobs  int     `json:"cached_jobs,omitempty"`  // jobs served from the store this run
 }
 
 func buildManifest(rr *RunResult, workers int, started time.Time, wall time.Duration) *Manifest {
@@ -79,6 +104,7 @@ func buildManifest(rr *RunResult, workers int, started time.Time, wall time.Dura
 		case jr.Done:
 			m.Completed++
 			rec.Status = "done"
+			rec.Cached = jr.Outcome.Cached
 			rec.Saturated = jr.Outcome.Saturated
 			rec.WallSeconds = jr.wall.Seconds()
 			rec.SimCycles = jr.Outcome.Cycles

@@ -150,6 +150,15 @@ type Network struct {
 	pool    *route.Packet // free list threaded through Packet.Next
 	nextPkt uint64
 
+	// Snapshot plumbing (see snapshot.go / docs/STATE.md): the network
+	// retains its whole-network slabs so Snapshot/Restore can bulk-copy
+	// them, plus a reusable arena that restored live packets are rebuilt
+	// into.
+	streams      []rng.Source // per-router RNG streams (ctx.RNG points in)
+	credSlab     []int32      // all routers' downstream credit counters
+	termCredSlab []int32      // all terminals' injection credit counters
+	restorePkts  []route.Packet
+
 	// Aggregate counters.
 	InjectedPackets  uint64
 	InjectedFlits    uint64
@@ -225,6 +234,9 @@ func New(k *sim.Kernel, cfg Config) (*Network, error) {
 	termCredSlab := make([]int32, nt*nv)
 
 	streams := master.DeriveN(0, nr)
+	n.streams = streams
+	n.credSlab = credSlab
+	n.termCredSlab = termCredSlab
 	n.Routers = make([]*Router, nr)
 	for r := range n.Routers {
 		n.Routers[r] = &routerSlab[r]

@@ -1,0 +1,581 @@
+package network
+
+import (
+	"fmt"
+
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+// This file implements the network half of the warm-state snapshot
+// contract (docs/STATE.md). A Snapshot is a complete, relocatable value
+// copy of every piece of mutable simulation state the network owns:
+// packets (in queues and in flight), per-(port,VC) buffer occupancy,
+// credit counters, blocked-waiter registrations, channel busy times,
+// per-router RNG streams, aggregate counters, and the kernel calendar.
+// Restoring it — into the same instance or into a second instance built
+// from the identical Config — resumes the simulation bit-identically:
+// the resumed run executes the same events, draws the same random
+// values, and produces the same statistics an uninterrupted run would.
+//
+// Everything is stored positionally (slab indices, not pointers), which
+// is what makes the snapshot relocatable and serializable: packet
+// references become indices into the snapshot's packet table, waiter
+// references become indices into its waiter table, and actors become
+// (kind, id) codes. The intrusive free pools (packets, waiters) are
+// deliberately NOT captured — pool contents are unobservable, and
+// Restore rebuilds pools lazily.
+//
+// Restore is not atomic: if it returns an error the network is in an
+// unspecified intermediate state and must be discarded. Errors only
+// arise from malformed or mismatched snapshots, never from a snapshot
+// taken of an identically-configured network.
+
+// Actor and payload code kinds (the high 32 bits of a code; the low 32
+// bits are the index). Payload code 0 is "no payload" by the kernel's
+// convention, so payload kinds start at 1.
+const (
+	actorNetwork  uint64 = 1 // the Network itself (opDeliver events)
+	actorRouter   uint64 = 2 // index = router id
+	actorTerminal uint64 = 3 // index = terminal id
+	actorExternal uint64 = 4 // index into the ext slice (traffic generator)
+
+	payloadPacket uint64 = 1 // index into Snapshot.Packets
+	payloadWaiter uint64 = 2 // index into Snapshot.Waiters
+)
+
+// WaiterState is the relocatable form of one blocked-head registration.
+type WaiterState struct {
+	Pkt    int32           `json:"pkt"` // index into Snapshot.Packets
+	InPort int32           `json:"in_port"`
+	InVC   int8            `json:"in_vc"`
+	Eject  bool            `json:"eject"`
+	Cand   route.Candidate `json:"cand"`
+}
+
+// OutPortState is the mutable half of one output port; wiring (peer,
+// latency, dead flag) is build-time state and deliberately excluded.
+type OutPortState struct {
+	BusyUntil   sim.Time `json:"busy_until"`
+	AttemptAt   sim.Time `json:"attempt_at"`
+	BusyAccum   sim.Time `json:"busy_accum"`
+	Grants      uint64   `json:"grants"`
+	QueuedFlits int32    `json:"queued_flits"`
+}
+
+// TermState is the mutable scalar state of one terminal; its source
+// queue and credits live in the flat tables below.
+type TermState struct {
+	BusyUntil sim.Time `json:"busy_until"`
+	RetryAt   sim.Time `json:"retry_at"`
+}
+
+// Counters are the network's aggregate statistics plus the packet ID
+// allocator position.
+type Counters struct {
+	InjectedPackets  uint64 `json:"injected_packets"`
+	InjectedFlits    uint64 `json:"injected_flits"`
+	DeliveredPackets uint64 `json:"delivered_packets"`
+	DeliveredFlits   uint64 `json:"delivered_flits"`
+	DroppedPackets   uint64 `json:"dropped_packets"`
+	DroppedFlits     uint64 `json:"dropped_flits"`
+	NextPkt          uint64 `json:"next_pkt"`
+}
+
+// Snapshot is a complete warm-state checkpoint of a Network. All queue
+// contents are flattened: lens[i] gives queue i's length and the packet
+// indices follow contiguously in the corresponding flat table, in FIFO
+// order. See docs/STATE.md for the full inventory and exclusions.
+type Snapshot struct {
+	// Packets is the table of every live packet: source-queued,
+	// VC-buffered, or in flight as an event payload. Next links are nil;
+	// position in a queue is encoded by the index tables below.
+	Packets []route.Packet `json:"packets"`
+
+	TermQLens []int32 `json:"term_q_lens"` // nt entries
+	TermQPkts []int32 `json:"term_q_pkts"` // sum(TermQLens) packet indices
+
+	VCQLens []int32 `json:"vc_q_lens"` // nr*np*nv entries
+	VCQPkts []int32 `json:"vc_q_pkts"` // sum(VCQLens) packet indices
+
+	WaiterLens []int32       `json:"waiter_lens"` // nr*np entries
+	Waiters    []WaiterState `json:"waiters"`     // registration order per port
+
+	Credits     []int32 `json:"credits"`      // nr*np*nv downstream credit counters
+	TermCredits []int32 `json:"term_credits"` // nt*nv injection credit counters
+
+	Outs  []OutPortState `json:"outs"`  // nr*np
+	Terms []TermState    `json:"terms"` // nt
+
+	RouterRNG []uint64 `json:"router_rng"` // nr stream resume tokens
+
+	Counters Counters `json:"counters"`
+
+	Kernel *sim.KernelState `json:"kernel"`
+}
+
+// snapCoder implements sim.EventCoder over a network plus the external
+// actors (the traffic generator) that also schedule typed events on the
+// shared kernel. On encode it interns in-flight packets into the
+// snapshot's packet table; on decode it resolves indices against the
+// restored packet arena and waiter table.
+type snapCoder struct {
+	n   *Network
+	ext []sim.Actor
+
+	// Encode side.
+	snap   *Snapshot
+	pktIdx map[*route.Packet]int32
+	widx   map[*waiter]int32
+
+	// Decode side.
+	pkts    []*route.Packet
+	waiters []*waiter
+}
+
+// internPacket returns the packet's table index, adding a value copy
+// (with the intrusive link severed) on first sight. Live packets are in
+// exactly one owner at a time, so each is interned exactly once.
+func (c *snapCoder) internPacket(p *route.Packet) int32 {
+	if i, ok := c.pktIdx[p]; ok {
+		return i
+	}
+	i := int32(len(c.snap.Packets))
+	cp := *p
+	cp.Next = nil
+	//hxlint:allow allocfree — snapshot capture runs off the simulation steady-state path, and the live-packet population is unknown until the walk completes
+	c.snap.Packets = append(c.snap.Packets, cp)
+	c.pktIdx[p] = i
+	return i
+}
+
+// EncodeActor implements sim.EventCoder.
+func (c *snapCoder) EncodeActor(a sim.Actor) (uint64, error) {
+	switch x := a.(type) {
+	case *Network:
+		if x != c.n {
+			return 0, fmt.Errorf("network: snapshot: event targets a different Network")
+		}
+		return actorNetwork << 32, nil
+	case *Router:
+		return actorRouter<<32 | uint64(uint32(x.id)), nil
+	case *Terminal:
+		return actorTerminal<<32 | uint64(uint32(x.id)), nil
+	}
+	for i, e := range c.ext {
+		if e == a {
+			return actorExternal<<32 | uint64(uint32(i)), nil
+		}
+	}
+	return 0, fmt.Errorf("network: snapshot: event targets unknown actor %T (pass it in ext)", a)
+}
+
+// DecodeActor implements sim.EventCoder.
+func (c *snapCoder) DecodeActor(code uint64) (sim.Actor, error) {
+	kind, id := code>>32, int(uint32(code))
+	switch kind {
+	case actorNetwork:
+		if id != 0 {
+			return nil, fmt.Errorf("network: restore: malformed network actor code %#x", code)
+		}
+		return c.n, nil
+	case actorRouter:
+		if id >= len(c.n.Routers) {
+			return nil, fmt.Errorf("network: restore: router %d out of range (%d routers)", id, len(c.n.Routers))
+		}
+		return c.n.Routers[id], nil
+	case actorTerminal:
+		if id >= len(c.n.Terminals) {
+			return nil, fmt.Errorf("network: restore: terminal %d out of range (%d terminals)", id, len(c.n.Terminals))
+		}
+		return c.n.Terminals[id], nil
+	case actorExternal:
+		if id >= len(c.ext) {
+			return nil, fmt.Errorf("network: restore: external actor %d out of range (%d provided)", id, len(c.ext))
+		}
+		return c.ext[id], nil
+	}
+	return nil, fmt.Errorf("network: restore: unknown actor code %#x", code)
+}
+
+// EncodePayload implements sim.EventCoder.
+func (c *snapCoder) EncodePayload(_ uint8, p any) (uint64, error) {
+	switch x := p.(type) {
+	case nil:
+		return 0, nil
+	case *route.Packet:
+		return payloadPacket<<32 | uint64(uint32(c.internPacket(x))), nil
+	case *waiter:
+		i, ok := c.widx[x]
+		if !ok {
+			// Every live re-route timer's waiter is queued on an output
+			// port; the waiter walk runs before the kernel walk, so a miss
+			// is a broken invariant, not a user error.
+			return 0, fmt.Errorf("network: snapshot: re-route timer references an unregistered waiter")
+		}
+		return payloadWaiter<<32 | uint64(uint32(i)), nil
+	default:
+		return 0, fmt.Errorf("network: snapshot: unknown payload type %T", x)
+	}
+}
+
+// DecodePayload implements sim.EventCoder.
+func (c *snapCoder) DecodePayload(_ uint8, code uint64) (any, error) {
+	kind, id := code>>32, int(uint32(code))
+	switch kind {
+	case 0:
+		if code != 0 {
+			return nil, fmt.Errorf("network: restore: malformed nil payload code %#x", code)
+		}
+		return nil, nil
+	case payloadPacket:
+		if id >= len(c.pkts) {
+			return nil, fmt.Errorf("network: restore: packet %d out of range (%d packets)", id, len(c.pkts))
+		}
+		return c.pkts[id], nil
+	case payloadWaiter:
+		if id >= len(c.waiters) {
+			return nil, fmt.Errorf("network: restore: waiter %d out of range (%d waiters)", id, len(c.waiters))
+		}
+		return c.waiters[id], nil
+	}
+	return nil, fmt.Errorf("network: restore: unknown payload code %#x", code)
+}
+
+// Snapshot captures the network's complete warm state. ext lists the
+// external sim.Actor values (in a fixed, documented order — the facade
+// passes the traffic generator) that schedule typed events on the shared
+// kernel; their own internal state is snapshotted separately by their
+// owners. The network is not modified and may keep running afterwards.
+func (n *Network) Snapshot(ext ...sim.Actor) (*Snapshot, error) {
+	return buildNetworkState(n, ext)
+}
+
+// buildNetworkState walks the slabs in canonical order (terminals, then
+// routers ascending, ports ascending, VCs ascending) so that encode and
+// decode agree on every table position without storing explicit keys.
+func buildNetworkState(n *Network, ext []sim.Actor) (*Snapshot, error) {
+	topo := n.Cfg.Topo
+	nr, nt := topo.NumRouters(), topo.NumTerminals()
+	np, nv := topo.NumPorts(), n.Cfg.NumVCs
+
+	s := &Snapshot{
+		TermQLens:   make([]int32, nt),
+		VCQLens:     make([]int32, nr*np*nv),
+		WaiterLens:  make([]int32, nr*np),
+		Credits:     make([]int32, len(n.credSlab)),
+		TermCredits: make([]int32, len(n.termCredSlab)),
+		Outs:        make([]OutPortState, nr*np),
+		Terms:       make([]TermState, nt),
+		RouterRNG:   make([]uint64, nr),
+		Counters: Counters{
+			InjectedPackets:  n.InjectedPackets,
+			InjectedFlits:    n.InjectedFlits,
+			DeliveredPackets: n.DeliveredPackets,
+			DeliveredFlits:   n.DeliveredFlits,
+			DroppedPackets:   n.DroppedPackets,
+			DroppedFlits:     n.DroppedFlits,
+			NextPkt:          n.nextPkt,
+		},
+	}
+	copy(s.Credits, n.credSlab)
+	copy(s.TermCredits, n.termCredSlab)
+	for r := range n.streams {
+		s.RouterRNG[r] = n.streams[r].State()
+	}
+
+	c := &snapCoder{
+		n: n, ext: ext, snap: s,
+		pktIdx: make(map[*route.Packet]int32),
+		widx:   make(map[*waiter]int32),
+	}
+
+	// Terminal source queues, FIFO order.
+	for t, term := range n.Terminals {
+		s.Terms[t] = TermState{BusyUntil: term.busyUntil, RetryAt: term.retryAt}
+		cnt := int32(0)
+		for p := term.qhead; p != nil; p = p.Next {
+			s.TermQPkts = append(s.TermQPkts, c.internPacket(p))
+			cnt++
+		}
+		if int(cnt) != term.qlen {
+			return nil, fmt.Errorf("network: snapshot: terminal %d queue length %d != walked %d", t, term.qlen, cnt)
+		}
+		s.TermQLens[t] = cnt
+	}
+
+	// Router input-VC buffers, FIFO order.
+	for ri, rt := range n.Routers {
+		for pi := 0; pi < np; pi++ {
+			for vi := 0; vi < nv; vi++ {
+				iv := &rt.in[pi].vcs[vi]
+				cnt := int32(0)
+				for p := iv.head; p != nil; p = p.Next {
+					s.VCQPkts = append(s.VCQPkts, c.internPacket(p))
+					cnt++
+				}
+				if cnt != iv.n {
+					return nil, fmt.Errorf("network: snapshot: router %d port %d vc %d queue length %d != walked %d", ri, pi, vi, iv.n, cnt)
+				}
+				s.VCQLens[(ri*np+pi)*nv+vi] = cnt
+			}
+		}
+	}
+
+	// Output-port state and waiter registrations, registration order.
+	// Waiter packets are always input-VC heads, so they are interned above.
+	for ri, rt := range n.Routers {
+		for pi := 0; pi < np; pi++ {
+			o := &rt.out[pi]
+			s.Outs[ri*np+pi] = OutPortState{
+				BusyUntil:   o.busyUntil,
+				AttemptAt:   o.attemptAt,
+				BusyAccum:   o.busyAccum,
+				Grants:      o.grants,
+				QueuedFlits: int32(o.queuedFlits),
+			}
+			s.WaiterLens[ri*np+pi] = int32(len(o.waiters))
+			for _, w := range o.waiters {
+				pk, ok := c.pktIdx[w.pkt]
+				if !ok {
+					return nil, fmt.Errorf("network: snapshot: router %d port %d waiter holds a packet not in any input buffer", ri, pi)
+				}
+				c.widx[w] = int32(len(s.Waiters))
+				s.Waiters = append(s.Waiters, WaiterState{
+					Pkt: pk, InPort: int32(w.inPort), InVC: w.inVC,
+					Eject: w.eject, Cand: w.cand,
+				})
+			}
+		}
+	}
+
+	// Kernel calendar last: in-flight packets (channel-crossing arrivals
+	// and deliveries) are interned here; re-route timer payloads resolve
+	// against the waiter table just built.
+	ks, err := n.K.Snapshot(c)
+	if err != nil {
+		return nil, err
+	}
+	s.Kernel = ks
+	return s, nil
+}
+
+// Restore rebuilds the network's warm state from a snapshot taken of an
+// identically-configured network (same Config, including topology,
+// algorithm, faults, and seed derivation). ext must list the same
+// external actors, in the same order, as the Snapshot call. On success
+// the kernel clock, all queues, credits, RNG streams, and counters match
+// the snapshot exactly and the run resumes bit-identically. On error the
+// network is in an unspecified state and must be discarded.
+func (n *Network) Restore(s *Snapshot, ext ...sim.Actor) error {
+	return initFromNetworkState(n, s, ext)
+}
+
+// validateShape rejects snapshots whose table dimensions cannot belong
+// to this network before any state is mutated.
+func validateShape(n *Network, s *Snapshot) error {
+	topo := n.Cfg.Topo
+	nr, nt := topo.NumRouters(), topo.NumTerminals()
+	np, nv := topo.NumPorts(), n.Cfg.NumVCs
+	switch {
+	case s.Kernel == nil:
+		return fmt.Errorf("network: restore: snapshot has no kernel state")
+	case len(s.TermQLens) != nt || len(s.Terms) != nt:
+		return fmt.Errorf("network: restore: snapshot has %d terminals, network has %d", len(s.TermQLens), nt)
+	case len(s.VCQLens) != nr*np*nv || len(s.Credits) != nr*np*nv:
+		return fmt.Errorf("network: restore: snapshot VC tables sized %d/%d, network needs %d", len(s.VCQLens), len(s.Credits), nr*np*nv)
+	case len(s.WaiterLens) != nr*np || len(s.Outs) != nr*np:
+		return fmt.Errorf("network: restore: snapshot port tables sized %d/%d, network needs %d", len(s.WaiterLens), len(s.Outs), nr*np)
+	case len(s.TermCredits) != nt*nv:
+		return fmt.Errorf("network: restore: snapshot terminal credits sized %d, network needs %d", len(s.TermCredits), nt*nv)
+	case len(s.RouterRNG) != nr:
+		return fmt.Errorf("network: restore: snapshot has %d router RNG streams, network has %d", len(s.RouterRNG), nr)
+	}
+	sum := func(lens []int32) (total int, bad bool) {
+		for _, l := range lens {
+			if l < 0 {
+				return 0, true
+			}
+			total += int(l)
+		}
+		return total, false
+	}
+	if tq, bad := sum(s.TermQLens); bad || tq != len(s.TermQPkts) {
+		return fmt.Errorf("network: restore: terminal queue table inconsistent (%d indices, lens sum elsewhere)", len(s.TermQPkts))
+	}
+	if vq, bad := sum(s.VCQLens); bad || vq != len(s.VCQPkts) {
+		return fmt.Errorf("network: restore: VC queue table inconsistent (%d indices, lens sum elsewhere)", len(s.VCQPkts))
+	}
+	if wq, bad := sum(s.WaiterLens); bad || wq != len(s.Waiters) {
+		return fmt.Errorf("network: restore: waiter table inconsistent (%d waiters, lens sum elsewhere)", len(s.Waiters))
+	}
+	for i, l := range s.WaiterLens {
+		// Every waiter is the head of a distinct input VC on the same
+		// router, so one output can accumulate at most all np*nv of them.
+		if int(l) > np*nv {
+			return fmt.Errorf("network: restore: output %d has %d waiters, max is %d (one per input VC)", i, l, np*nv)
+		}
+	}
+	npk := int32(len(s.Packets))
+	for _, i := range s.TermQPkts {
+		if i < 0 || i >= npk {
+			return fmt.Errorf("network: restore: terminal queue packet index %d out of range (%d packets)", i, npk)
+		}
+	}
+	for _, i := range s.VCQPkts {
+		if i < 0 || i >= npk {
+			return fmt.Errorf("network: restore: VC queue packet index %d out of range (%d packets)", i, npk)
+		}
+	}
+	for wi := range s.Waiters {
+		w := &s.Waiters[wi]
+		if w.Pkt < 0 || w.Pkt >= npk {
+			return fmt.Errorf("network: restore: waiter %d packet index %d out of range (%d packets)", wi, w.Pkt, npk)
+		}
+		if w.InPort < 0 || int(w.InPort) >= np || w.InVC < 0 || int(w.InVC) >= nv {
+			return fmt.Errorf("network: restore: waiter %d input (%d,%d) out of range", wi, w.InPort, w.InVC)
+		}
+		if w.Cand.Port < 0 || w.Cand.Port >= np {
+			return fmt.Errorf("network: restore: waiter %d candidate port %d out of range", wi, w.Cand.Port)
+		}
+	}
+	return nil
+}
+
+// initFromNetworkState does the rebuild; all allocation (the packet
+// arena, the coder's decode tables) lives here, off the steady-state
+// simulation path.
+func initFromNetworkState(n *Network, s *Snapshot, ext []sim.Actor) error {
+	if err := validateShape(n, s); err != nil {
+		return err
+	}
+	topo := n.Cfg.Topo
+	np, nv := topo.NumPorts(), n.Cfg.NumVCs
+
+	// Packet arena: live packets are rebuilt by value into a reusable
+	// network-owned slab. The free pool is abandoned wholesale — its
+	// intrusive links may thread through structs the copy below clobbers —
+	// and refills lazily on the next NewPacket.
+	n.pool = nil
+	if cap(n.restorePkts) < len(s.Packets) {
+		n.restorePkts = make([]route.Packet, len(s.Packets))
+	}
+	n.restorePkts = n.restorePkts[:len(s.Packets)]
+	copy(n.restorePkts, s.Packets)
+
+	c := &snapCoder{
+		n: n, ext: ext,
+		pkts:    make([]*route.Packet, len(s.Packets)),
+		waiters: make([]*waiter, len(s.Waiters)),
+	}
+	for i := range n.restorePkts {
+		n.restorePkts[i].Next = nil
+		c.pkts[i] = &n.restorePkts[i]
+	}
+
+	copy(n.credSlab, s.Credits)
+	copy(n.termCredSlab, s.TermCredits)
+	for r := range n.streams {
+		n.streams[r].SetState(s.RouterRNG[r])
+	}
+
+	// Terminals: scalars and source queues.
+	qi := 0
+	for t, term := range n.Terminals {
+		term.busyUntil = s.Terms[t].BusyUntil
+		term.retryAt = s.Terms[t].RetryAt
+		term.qhead, term.qtail, term.qlen = nil, nil, 0
+		for k := int32(0); k < s.TermQLens[t]; k++ {
+			p := c.pkts[s.TermQPkts[qi]]
+			qi++
+			if term.qtail == nil {
+				term.qhead = p
+			} else {
+				term.qtail.Next = p
+			}
+			term.qtail = p
+			term.qlen++
+		}
+	}
+
+	// Routers: output scalars, input-VC queues, then waiter registrations.
+	vi := 0
+	wi := 0
+	for ri, rt := range n.Routers {
+		for pi := 0; pi < np; pi++ {
+			o := &rt.out[pi]
+			os := &s.Outs[ri*np+pi]
+			o.busyUntil = os.BusyUntil
+			o.attemptAt = os.AttemptAt
+			o.busyAccum = os.BusyAccum
+			o.grants = os.Grants
+			o.queuedFlits = int(os.QueuedFlits)
+			// Recycle the old registrations before rebuilding; their timer
+			// events are discarded wholesale by the kernel restore below.
+			for k := range o.waiters {
+				rt.putWaiter(o.waiters[k])
+				o.waiters[k] = nil
+			}
+			o.waiters = o.waiters[:0]
+			for v := 0; v < nv; v++ {
+				iv := &rt.in[pi].vcs[v]
+				iv.head, iv.tail, iv.n = nil, nil, 0
+				for k := int32(0); k < s.VCQLens[(ri*np+pi)*nv+v]; k++ {
+					iv.push(c.pkts[s.VCQPkts[vi]])
+					vi++
+				}
+			}
+		}
+		for pi := 0; pi < np; pi++ {
+			o := &rt.out[pi]
+			cnt := int(s.WaiterLens[ri*np+pi])
+			// The build-time slab gives each port capacity nv, but a
+			// congested port can have registered up to np*nv waiters (one
+			// per input VC) and grown off-slab; match that growth here.
+			if cnt <= cap(o.waiters) {
+				o.waiters = o.waiters[:cnt]
+			} else {
+				o.waiters = make([]*waiter, cnt)
+			}
+			for k := 0; k < cnt; k++ {
+				ws := &s.Waiters[wi]
+				w := rt.getWaiter(c.pkts[ws.Pkt], int(ws.InPort), ws.InVC)
+				w.cand = ws.Cand
+				w.eject = ws.Eject
+				o.waiters[k] = w
+				c.waiters[wi] = w
+				wi++
+			}
+		}
+	}
+
+	n.InjectedPackets = s.Counters.InjectedPackets
+	n.InjectedFlits = s.Counters.InjectedFlits
+	n.DeliveredPackets = s.Counters.DeliveredPackets
+	n.DeliveredFlits = s.Counters.DeliveredFlits
+	n.DroppedPackets = s.Counters.DroppedPackets
+	n.DroppedFlits = s.Counters.DroppedFlits
+	n.nextPkt = s.Counters.NextPkt
+
+	// Kernel calendar last: payload decoding resolves against the arena
+	// and waiter tables built above, and the restored callback rewires
+	// each waiter's cancellation handle to its recreated re-route timer.
+	err := n.K.Restore(s.Kernel, c, func(es sim.EventState, e *sim.Event) {
+		if es.Op == opReroute && es.Payload>>32 == payloadWaiter {
+			c.waiters[uint32(es.Payload)].timer = e
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// Every non-eject waiter must have found its timer: a registered
+	// blocked decision without a live re-route event can never make
+	// progress if its output stays congested.
+	for i, w := range c.waiters {
+		if !w.eject && w.timer == nil {
+			return fmt.Errorf("network: restore: waiter %d has no re-route timer event in the snapshot", i)
+		}
+	}
+	return nil
+}

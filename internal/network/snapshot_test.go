@@ -1,0 +1,180 @@
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hyperx/internal/rng"
+	"hyperx/internal/route"
+	"hyperx/internal/routing"
+	"hyperx/internal/sim"
+	"hyperx/internal/topology"
+)
+
+// snapTestNet builds a congested deterministic scenario: every terminal
+// bursts a fixed set of randomly-addressed max-size packets at t=0, so
+// the drain phase exercises deep source queues, blocked waiters,
+// re-route timers, credit stalls, and RNG tie-breaks.
+func snapTestNet(t *testing.T) *Network {
+	t.Helper()
+	h := topology.MustHyperX([]int{4, 4}, 2)
+	n := buildNet(t, h, routing.NewDAL(h), func(c *Config) {
+		c.BufDepth = 32
+		c.MaxPktFlits = 16
+		c.ReRouteInterval = 60
+	})
+	src := rng.New(7)
+	nt := h.NumTerminals()
+	for term := 0; term < nt; term++ {
+		for i := 0; i < 20; i++ {
+			dst := src.Intn(nt - 1)
+			if dst >= term {
+				dst++
+			}
+			n.Terminals[term].Send(n.NewPacket(term, dst, 16))
+		}
+	}
+	return n
+}
+
+// snapTrace records deliveries as "id@t" strings.
+func snapTrace(n *Network, into *[]string) {
+	n.OnDeliver = func(p *route.Packet, at sim.Time) {
+		*into = append(*into, fmt.Sprintf("%d@%d", p.ID, at))
+	}
+}
+
+// TestNetworkSnapshotRestoreResumesIdentically is the core warm-state
+// contract at the network level: snapshot mid-drain, finish the run,
+// then restore — into the same instance AND into a freshly built one —
+// and the resumed halves must replay the identical delivery sequence
+// and end in deep-equal final state (credits, channel accumulators, RNG
+// streams, counters, kernel clock and sequence counter).
+func TestNetworkSnapshotRestoreResumesIdentically(t *testing.T) {
+	n := snapTestNet(t)
+	var trace []string
+	snapTrace(n, &trace)
+
+	n.K.Run(400)
+	snap, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Packets) == 0 || len(snap.Kernel.Events) == 0 {
+		t.Fatalf("implausible mid-drain snapshot: %d packets, %d events", len(snap.Packets), len(snap.Kernel.Events))
+	}
+
+	mark := len(trace)
+	n.K.Run(0)
+	want := append([]string(nil), trace[mark:]...)
+	if len(want) == 0 || n.InFlight() != 0 {
+		t.Fatalf("scenario too small: %d post-snapshot deliveries, %d in flight", len(want), n.InFlight())
+	}
+	final, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same-instance restore.
+	if err := n.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	trace = trace[:0]
+	n.K.Run(0)
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("same-instance resume diverged: %d deliveries vs %d", len(trace), len(want))
+	}
+	refinal, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refinal, final) {
+		t.Fatal("same-instance resume ended in different final state")
+	}
+
+	// Cross-instance restore: a fresh, identically-configured network
+	// (no traffic injected) adopts the warm state wholesale.
+	n2 := snapTestNet(t)
+	n2.K = sim.NewKernel() // discard the burst; restore rebuilds everything
+	var trace2 []string
+	snapTrace(n2, &trace2)
+	if err := n2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	n2.K.Run(0)
+	if !reflect.DeepEqual(trace2, want) {
+		t.Fatalf("cross-instance resume diverged: %d deliveries vs %d", len(trace2), len(want))
+	}
+	refinal2, err := n2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refinal2, final) {
+		t.Fatal("cross-instance resume ended in different final state")
+	}
+}
+
+// TestNetworkRestoreRejectsMismatchedShape: a snapshot of one topology
+// must not restore into another.
+func TestNetworkRestoreRejectsMismatchedShape(t *testing.T) {
+	n := snapTestNet(t)
+	n.K.Run(500)
+	snap, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := topology.MustHyperX([]int{3, 3}, 2)
+	other := buildNet(t, h2, routing.NewDAL(h2), nil)
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore of a 4x4 snapshot into a 3x3 network succeeded")
+	}
+
+	// Internally inconsistent tables must also be rejected.
+	snap.TermQPkts = append(snap.TermQPkts, 1<<30)
+	if err := n.Restore(snap); err == nil {
+		t.Fatal("restore of an out-of-range packet index succeeded")
+	}
+}
+
+// TestRestoreKeepsSteadyStateZeroAlloc: restoring a snapshot abandons
+// the packet free list (restored packets live in a network-owned arena)
+// and recycles waiters and kernel events, so the pools re-fill lazily as
+// the restored traffic drains. Once they have, the steady-state
+// inject-route-arbitrate-drain cycle must be allocation-free again —
+// restore must not break the zero-alloc property the sweep fast path
+// depends on (see alloc_test.go for the cold-path version).
+func TestRestoreKeepsSteadyStateZeroAlloc(t *testing.T) {
+	n := snapTestNet(t)
+	n.K.Run(400)
+	snap, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.K.Run(0) // finish the captured run
+	if err := n.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	n.K.Run(0) // drain the restored traffic: arena packets refill the pools
+
+	nt := len(n.Terminals)
+	n.K.Reserve(2048, 2*nt)
+	burst := func(k int) {
+		for src := 0; src < nt; src++ {
+			n.Terminals[src].Send(n.NewPacket(src, (src*31+k)%nt, 1+k%16))
+		}
+		n.K.Run(0)
+	}
+	for k := 0; k < 50; k++ {
+		burst(k)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		burst(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("post-restore steady state allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -178,6 +178,61 @@ func BenchPaperScaleSweepPoint(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchSnapshotRestore measures the warm-state fork primitive at the
+// paper's true evaluation scale — the 4,096-node 8x8x8 t=8 HyperX —
+// under steady 0.6-load UR traffic: each op snapshots the instance
+// (network slabs, in-flight packets, RNG streams, kernel calendar,
+// generator streams), restores the snapshot back into it, and resumes
+// for 100 simulated cycles to prove the restored state executes. This is
+// the per-point cost a warm-fork sweep pays instead of a full rebuild
+// plus warmup; its events/sec (kernel events resumed per wall-second,
+// snapshot and restore overhead included) is the number `make bench`
+// gates so the fork path cannot silently regress.
+func BenchSnapshotRestore(b *testing.B) {
+	b.ReportAllocs()
+	cfg := hyperx.PaperScale()
+	cfg.Algorithm = "DimWAR"
+	inst, err := hyperx.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := hyperx.NewPattern("UR", inst.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: 1, Max: 16},
+		Load:    0.6,
+	}
+	gen.Start(inst.Cfg.Seed)
+	inst.K.Run(500) // reach a loaded steady state outside the timer
+	b.ResetTimer()
+	start := inst.K.Executed()
+	pkts := 0
+	for i := 0; i < b.N; i++ {
+		// Restore rewinds the clock and counters to the fork point the
+		// snapshot captured, so the 100-cycle resume advances the state
+		// each op and Executed() never rewinds below start.
+		s, err := inst.Snapshot(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Restore(s, gen); err != nil {
+			b.Fatal(err)
+		}
+		inst.K.Run(inst.K.Now() + 100)
+		pkts = len(s.Net.Packets)
+	}
+	events := inst.K.Executed() - start
+	if events == 0 || pkts == 0 {
+		b.Fatalf("restored run executed %d events over %d in-flight packets; scenario degenerate", events, pkts)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(pkts), "packets/snapshot")
+}
+
 // BenchPaperScaleFootprint measures the memory cost of standing up the
 // paper-scale model: bytes/op is the total heap allocated to build the
 // 4,096-node network (routers, slab-backed queues and credit state, tables,

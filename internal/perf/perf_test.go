@@ -13,4 +13,6 @@ func BenchmarkSweepPoint(b *testing.B) { BenchSweepPoint(b) }
 
 func BenchmarkPaperScaleSweepPoint(b *testing.B) { BenchPaperScaleSweepPoint(b) }
 
+func BenchmarkSnapshotRestore(b *testing.B) { BenchSnapshotRestore(b) }
+
 func BenchmarkPaperScaleFootprint(b *testing.B) { BenchPaperScaleFootprint(b) }

@@ -67,6 +67,19 @@ func (s *Source) DeriveN(base uint64, n int) []Source {
 	return out
 }
 
+// State returns the generator's current internal state. Together with
+// SetState it makes a stream checkpointable: capturing State and later
+// restoring it resumes the stream at exactly the same position, so a
+// restored simulation draws the same values an uninterrupted one would
+// have. The value is opaque — treat it as a resume token, not a seed.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState rewinds (or fast-forwards) the generator to a state previously
+// captured with State. It is the restore half of the snapshot contract
+// documented in docs/STATE.md: streams are checkpointed by value, never
+// re-derived, so a restore never changes which sequence a component sees.
+func (s *Source) SetState(v uint64) { s.state = v }
+
 // DeriveSeed deterministically folds labels into a base seed, yielding a
 // new seed suitable for an independent simulation instance. With no
 // labels it returns base unchanged. Use it to give repeated trials or

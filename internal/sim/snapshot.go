@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the kernel half of the warm-state snapshot
+// contract (docs/STATE.md): capturing the complete calendar — every live
+// queued event plus the clock, sequence counter, and window position — in
+// a relocatable form, and restoring it so that a resumed run executes
+// exactly the event sequence an uninterrupted run would have.
+//
+// Events reference live model objects (an Actor receiver and an arbitrary
+// payload pointer), which a snapshot cannot hold directly: the model keeps
+// mutating and recycling those objects after the snapshot is taken. The
+// kernel therefore delegates endpoint translation to an EventCoder owned
+// by the model (internal/network), which maps actors and payloads to
+// stable numeric codes on capture and back to (possibly reconstructed)
+// objects on restore. Closure events (At/After) have no relocatable form
+// and make Snapshot fail — the network model schedules exclusively typed
+// events, so any facade-level snapshot boundary satisfies this.
+//
+// Cancelled (dead) events are deliberately not captured: they never
+// execute, their recycling order is unobservable, and their payloads may
+// already have been recycled by the model. Dropping them changes Pending()
+// but no executed-event sequence — the golden-trace fork tests pin this.
+
+// EventState is the relocatable form of one live queued event. Actor and
+// Payload are model-defined codes produced by an EventCoder; the kernel
+// only requires that the coder round-trips them.
+type EventState struct {
+	At      Time   `json:"at"`
+	Seq     uint64 `json:"seq"`
+	Actor   uint64 `json:"actor"`
+	Payload uint64 `json:"payload"`
+	Op      uint8  `json:"op"`
+	A       int32  `json:"a"`
+	B       int32  `json:"b"`
+	C       int32  `json:"c"`
+}
+
+// KernelState is a complete, relocatable checkpoint of a kernel: restore
+// it (into the same kernel or an identically built one) and the resumed
+// run executes the same events in the same order, with the same sequence
+// numbers, as the run the snapshot was taken from.
+type KernelState struct {
+	Now      Time   `json:"now"`
+	WinStart Time   `json:"win_start"`
+	Seq      uint64 `json:"seq"`
+	Exec     uint64 `json:"exec"`
+
+	// Events holds every live queued event in ascending (At, Seq) order —
+	// the canonical order that lets Restore rebuild bucket FIFOs correctly
+	// by plain re-enqueueing.
+	Events []EventState `json:"events"`
+}
+
+// EventCoder translates event endpoints between live objects and the
+// stable numeric codes a snapshot stores. Implementations are owned by
+// the model (internal/network); codes are opaque to the kernel. Encode
+// methods may assign fresh codes on the fly (e.g. registering an
+// in-flight packet in the snapshot's packet table); Decode methods must
+// resolve every code their Encode produced.
+type EventCoder interface {
+	EncodeActor(a Actor) (uint64, error)
+	DecodeActor(code uint64) (Actor, error)
+	// EncodePayload/DecodePayload receive the event's op so coders can
+	// validate payload kinds per op; p is nil for payload-free events and
+	// code 0 conventionally means "no payload".
+	EncodePayload(op uint8, p any) (uint64, error)
+	DecodePayload(op uint8, code uint64) (any, error)
+}
+
+// Snapshot captures the kernel's complete calendar state. The kernel is
+// not modified; the model may keep running afterwards without
+// invalidating the returned state. It fails if any live queued event is a
+// closure (At/After) — closures are not relocatable; snapshot boundaries
+// must be chosen where only typed (AtAct/AfterAct) events are pending.
+func (k *Kernel) Snapshot(c EventCoder) (*KernelState, error) {
+	return buildKernelState(k, c)
+}
+
+// buildKernelState does the walk and encode; allocation lives here, off
+// the simulation steady-state path.
+func buildKernelState(k *Kernel, c EventCoder) (*KernelState, error) {
+	s := &KernelState{
+		Now:      k.now,
+		WinStart: k.winStart,
+		Seq:      k.seq,
+		Exec:     k.nexec,
+	}
+	live := make([]*Event, 0, k.npend)
+	collect := func(e *Event) {
+		if e != nil && !e.dead {
+			live = append(live, e)
+		}
+	}
+	for i := range k.ring {
+		b := &k.ring[i]
+		for _, e := range b.q[b.head:] {
+			collect(e)
+		}
+	}
+	for _, e := range k.far.h {
+		collect(e)
+	}
+	for _, e := range k.late {
+		collect(e)
+	}
+	// Canonical (At, Seq) order: Seq is unique, so the order is total and
+	// re-enqueueing in it reproduces every bucket's FIFO order exactly.
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].at != live[j].at {
+			return live[i].at < live[j].at
+		}
+		return live[i].seq < live[j].seq
+	})
+	s.Events = make([]EventState, len(live))
+	for i, e := range live {
+		if e.fn != nil {
+			return nil, fmt.Errorf("sim: snapshot: closure event at t=%d seq=%d has no relocatable form (use AtAct/AfterAct on snapshot paths)", e.at, e.seq)
+		}
+		actor, err := c.EncodeActor(e.act)
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot event t=%d seq=%d: %w", e.at, e.seq, err)
+		}
+		payload, err := c.EncodePayload(e.op, e.p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot event t=%d seq=%d: %w", e.at, e.seq, err)
+		}
+		s.Events[i] = EventState{
+			At: e.at, Seq: e.seq,
+			Actor: actor, Payload: payload,
+			Op: e.op, A: e.a, B: e.b, C: e.c,
+		}
+	}
+	return s, nil
+}
+
+// Restore rebuilds the kernel's calendar from a snapshot, discarding
+// whatever is currently queued. After it returns, the kernel's clock,
+// sequence counter, and pending-event population match the snapshot
+// exactly, so Run continues bit-identically to the captured run. The
+// optional restored callback observes every re-created event alongside
+// its EventState — the model uses it to rewire cancellation handles
+// (waiter re-route timers) that point at specific events.
+func (k *Kernel) Restore(s *KernelState, c EventCoder, restored func(EventState, *Event)) error {
+	return initFromKernelState(k, s, c, restored)
+}
+
+// initFromKernelState drains and rebuilds; allocation (pool refills) lives
+// here, off the steady-state path.
+func initFromKernelState(k *Kernel, s *KernelState, c EventCoder, restored func(EventState, *Event)) error {
+	// Drain every queued event back to the pool. Payload objects owned by
+	// the model are abandoned here; the model's own restore pass rebuilds
+	// or recycles them.
+	for i := range k.ring {
+		b := &k.ring[i]
+		for _, e := range b.q[b.head:] {
+			e.queued = false
+			k.recycle(e)
+		}
+		b.q = b.q[:0]
+		b.head = 0
+	}
+	for _, e := range k.far.h {
+		e.queued = false
+		k.recycle(e)
+	}
+	k.far.h = k.far.h[:0]
+	for _, e := range k.late {
+		e.queued = false
+		k.recycle(e)
+	}
+	k.late = k.late[:0]
+	k.nring = 0
+	k.npend = 0
+
+	k.now = s.Now
+	k.winStart = s.WinStart
+	k.seq = s.Seq
+	k.nexec = s.Exec
+	k.halted = false
+
+	var prev EventState
+	for i, es := range s.Events {
+		if es.At < s.Now {
+			return fmt.Errorf("sim: restore: event t=%d seq=%d scheduled before snapshot clock %d", es.At, es.Seq, s.Now)
+		}
+		if es.Seq >= s.Seq {
+			return fmt.Errorf("sim: restore: event t=%d seq=%d not below sequence counter %d", es.At, es.Seq, s.Seq)
+		}
+		if i > 0 && (es.At < prev.At || (es.At == prev.At && es.Seq <= prev.Seq)) {
+			return fmt.Errorf("sim: restore: events not in strict (at, seq) order at index %d", i)
+		}
+		prev = es
+		act, err := c.DecodeActor(es.Actor)
+		if err != nil {
+			return fmt.Errorf("sim: restore event t=%d seq=%d: %w", es.At, es.Seq, err)
+		}
+		p, err := c.DecodePayload(es.Op, es.Payload)
+		if err != nil {
+			return fmt.Errorf("sim: restore event t=%d seq=%d: %w", es.At, es.Seq, err)
+		}
+		n := len(k.free)
+		if n == 0 {
+			k.refill()
+			n = len(k.free)
+		}
+		e := k.free[n-1]
+		k.free = k.free[:n-1]
+		e.at = es.At
+		e.seq = es.Seq
+		e.act = act
+		e.op = es.Op
+		e.a, e.b, e.c = es.A, es.B, es.C
+		e.p = p
+		e.fn = nil
+		e.dead = false
+		e.queued = true
+		k.npend++
+		k.enqueue(e)
+		if restored != nil {
+			restored(es, e)
+		}
+	}
+	return nil
+}

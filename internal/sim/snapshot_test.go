@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// snapActor is a self-rescheduling typed actor whose execution history is
+// observable, for checkpoint equivalence tests.
+type snapActor struct {
+	k     *Kernel
+	trace []string
+	stop  Time
+}
+
+func (a *snapActor) Act(op uint8, x, y, _ int32, p any) {
+	a.trace = append(a.trace, fmt.Sprintf("%d:%d:%d:%d", a.k.Now(), op, x, y))
+	if a.k.Now() >= a.stop {
+		return
+	}
+	// Linear chains mixing near, far (beyond the ring window), and
+	// same-cycle targets: op0 -> op1 -> op2 -> op0.
+	switch op {
+	case 0:
+		a.k.AfterAct(1, a, 1, x+1, y, 0, p)
+	case 1:
+		a.k.AfterAct(ringSize+50, a, 2, x, y+1, 0, nil)
+	case 2:
+		a.k.AfterAct(7, a, 0, x+2, y, 0, nil)
+	}
+}
+
+// passthroughCoder encodes the single known actor and nil payloads.
+type passthroughCoder struct{ a *snapActor }
+
+func (c *passthroughCoder) EncodeActor(a Actor) (uint64, error) {
+	if a != Actor(c.a) {
+		return 0, fmt.Errorf("unknown actor %T", a)
+	}
+	return 1, nil
+}
+
+func (c *passthroughCoder) DecodeActor(code uint64) (Actor, error) {
+	if code != 1 {
+		return nil, fmt.Errorf("unknown actor code %d", code)
+	}
+	return c.a, nil
+}
+
+func (c *passthroughCoder) EncodePayload(_ uint8, p any) (uint64, error) {
+	if p != nil {
+		return 0, fmt.Errorf("unexpected payload %T", p)
+	}
+	return 0, nil
+}
+
+func (c *passthroughCoder) DecodePayload(_ uint8, code uint64) (any, error) {
+	if code != 0 {
+		return nil, fmt.Errorf("unknown payload code %d", code)
+	}
+	return nil, nil
+}
+
+// TestKernelSnapshotRestoreResumesIdentically pins the core contract:
+// snapshot mid-run, keep running to the end, then restore and re-run —
+// the resumed half must replay the exact same (time, op, args) sequence
+// and end with identical kernel counters.
+func TestKernelSnapshotRestoreResumesIdentically(t *testing.T) {
+	k := NewKernel()
+	a := &snapActor{k: k, stop: 5000}
+	coder := &passthroughCoder{a: a}
+	for i := 0; i < 8; i++ {
+		k.AtAct(Time(i), a, 0, int32(i), 0, 0, nil)
+	}
+	k.Run(1500)
+
+	snap, err := k.Snapshot(coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Now != k.Now() || snap.Seq == 0 || len(snap.Events) == 0 {
+		t.Fatalf("implausible snapshot: now=%d seq=%d events=%d", snap.Now, snap.Seq, len(snap.Events))
+	}
+
+	mark := len(a.trace)
+	k.Run(6000)
+	want := append([]string(nil), a.trace[mark:]...)
+	wantNow, wantExec, wantSeq := k.Now(), k.Executed(), k.seq
+
+	if err := k.Restore(snap, coder, nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != snap.Now || k.Executed() != snap.Exec || k.Pending() != len(snap.Events) {
+		t.Fatalf("restore state: now=%d exec=%d pending=%d, want %d/%d/%d",
+			k.Now(), k.Executed(), k.Pending(), snap.Now, snap.Exec, len(snap.Events))
+	}
+	a.trace = a.trace[:0]
+	k.Run(6000)
+	if k.Now() != wantNow || k.Executed() != wantExec || k.seq != wantSeq {
+		t.Fatalf("resumed run ended at now=%d exec=%d seq=%d, want %d/%d/%d",
+			k.Now(), k.Executed(), k.seq, wantNow, wantExec, wantSeq)
+	}
+	if len(a.trace) != len(want) {
+		t.Fatalf("resumed run executed %d events, want %d", len(a.trace), len(want))
+	}
+	for i := range want {
+		if a.trace[i] != want[i] {
+			t.Fatalf("resumed run diverges at event %d: got %s want %s", i, a.trace[i], want[i])
+		}
+	}
+}
+
+// TestKernelSnapshotSkipsDeadEvents ensures cancelled events vanish from
+// the snapshot without perturbing the live schedule.
+func TestKernelSnapshotSkipsDeadEvents(t *testing.T) {
+	k := NewKernel()
+	a := &snapActor{k: k, stop: 0}
+	coder := &passthroughCoder{a: a}
+	live := k.AtAct(10, a, 0, 1, 0, 0, nil)
+	doomed := k.AtAct(20, a, 0, 2, 0, 0, nil)
+	k.Cancel(doomed)
+	snap, err := k.Snapshot(coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].At != 10 {
+		t.Fatalf("snapshot events = %+v, want just the live t=10 event", snap.Events)
+	}
+	_ = live
+	if err := k.Restore(snap, coder, nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d after restore, want 1", k.Pending())
+	}
+	k.Run(0)
+	if len(a.trace) != 1 || a.trace[0] != "10:0:1:0" {
+		t.Fatalf("trace = %v, want the single live event", a.trace)
+	}
+}
+
+// TestKernelSnapshotRejectsClosures: closure events have no relocatable
+// form; the error must be explicit rather than a silent drop.
+func TestKernelSnapshotRejectsClosures(t *testing.T) {
+	k := NewKernel()
+	a := &snapActor{k: k}
+	k.At(5, func() {})
+	if _, err := k.Snapshot(&passthroughCoder{a: a}); err == nil {
+		t.Fatal("snapshot of a closure event succeeded, want error")
+	}
+}
+
+// TestKernelRestoreRejectsMalformedState exercises the validation paths.
+func TestKernelRestoreRejectsMalformedState(t *testing.T) {
+	k := NewKernel()
+	a := &snapActor{k: k}
+	coder := &passthroughCoder{a: a}
+	bad := []*KernelState{
+		{Now: 100, Seq: 5, Events: []EventState{{At: 50, Seq: 1, Actor: 1}}},                         // behind the clock
+		{Now: 100, Seq: 5, Events: []EventState{{At: 150, Seq: 9, Actor: 1}}},                        // seq beyond counter
+		{Now: 0, Seq: 5, Events: []EventState{{At: 5, Seq: 2, Actor: 1}, {At: 5, Seq: 1, Actor: 1}}}, // out of order
+		{Now: 0, Seq: 5, Events: []EventState{{At: 5, Seq: 1, Actor: 77}}},                           // unknown actor
+	}
+	for i, s := range bad {
+		if err := k.Restore(s, coder, nil); err == nil {
+			t.Fatalf("case %d: restore of malformed state succeeded", i)
+		}
+	}
+}

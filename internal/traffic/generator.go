@@ -1,6 +1,8 @@
 package traffic
 
 import (
+	"fmt"
+
 	"hyperx/internal/network"
 	"hyperx/internal/rng"
 	"hyperx/internal/sim"
@@ -135,6 +137,59 @@ func (g *Generator) inject(t int) {
 	gap := sim.Time(exact)
 	g.carry[t] = exact - float64(gap)
 	g.scheduleNext(t, gap)
+}
+
+// GenState is the generator's complete mutable state in relocatable form,
+// the traffic half of the warm-state snapshot contract (docs/STATE.md).
+// Pattern and size-distribution values are stateless and re-derivable from
+// configuration, so only the per-terminal stream positions, fractional-gap
+// carries, and counters are captured. Load is included so a checkpointed
+// run resumes at the exact offered load it was saved at; warm-fork callers
+// overwrite Generator.Load after Restore to retarget the fork.
+type GenState struct {
+	Streams       []uint64  `json:"streams"` // per-terminal rng resume tokens
+	Carry         []float64 `json:"carry"`
+	Load          float64   `json:"load"`
+	SelfRedirects uint64    `json:"self_redirects"`
+	Stopped       bool      `json:"stopped"`
+}
+
+// Snapshot captures the generator's mutable state. The generator's pending
+// injection events live on the shared kernel and are captured by the
+// network snapshot (the generator is passed as an external actor there).
+func (g *Generator) Snapshot() *GenState {
+	s := &GenState{
+		Streams:       make([]uint64, len(g.streams)),
+		Carry:         make([]float64, len(g.carry)),
+		Load:          g.Load,
+		SelfRedirects: g.SelfRedirects,
+		Stopped:       g.stopped,
+	}
+	for i := range g.streams {
+		s.Streams[i] = g.streams[i].State()
+	}
+	copy(s.Carry, g.carry)
+	return s
+}
+
+// Restore rewinds the generator to a snapshotted state. The generator must
+// have been started (Start derives the stream slab) with the same terminal
+// count as the snapshot; streams are restored by value, never re-derived,
+// so the resumed gap and destination sequences are exactly the captured
+// run's.
+func (g *Generator) Restore(s *GenState) error {
+	if len(s.Streams) != len(g.streams) || len(s.Carry) != len(g.carry) {
+		return fmt.Errorf("traffic: restore: snapshot has %d/%d terminal streams/carries, generator has %d/%d",
+			len(s.Streams), len(s.Carry), len(g.streams), len(g.carry))
+	}
+	for i := range g.streams {
+		g.streams[i].SetState(s.Streams[i])
+	}
+	copy(g.carry, s.Carry)
+	g.Load = s.Load
+	g.SelfRedirects = s.SelfRedirects
+	g.stopped = s.Stopped
+	return nil
 }
 
 // TotalQueued returns the aggregate source-queue depth across terminals —

@@ -23,6 +23,20 @@ type SweepOpts struct {
 	// Progress, when non-nil, receives a one-line status per completed
 	// job (cmd/hxsweep points it at stderr).
 	Progress func(line string)
+
+	// Fork, when non-nil, switches RunLoadSweepParallel to warm-fork
+	// execution: each (pattern, algorithm) curve becomes one job that
+	// builds a single instance, snapshots it, and restores per load point
+	// (see ForkOpts for the pristine vs warm modes and their determinism
+	// contracts). Parallelism then spans curves rather than points.
+	Fork *ForkOpts
+
+	// CheckpointDir, when non-empty, persists every completed result to
+	// that directory and serves already-present results from it, so a
+	// killed sweep rerun with identical flags resumes where it stopped
+	// and still emits a byte-identical CSV. The manifest marks served
+	// jobs as cached and records the directory in its provenance block.
+	CheckpointDir string
 }
 
 // stampFaults records the fault set a Config implies on the manifest, so
@@ -37,6 +51,137 @@ func stampFaults(cfg Config, m *Manifest) {
 	if fs, err := BuildFaults(cfg); err == nil && fs != nil {
 		m.Faults = fs.Strings()
 	}
+}
+
+// openSweepStore opens the checkpoint store a SweepOpts asks for, or
+// returns nil when checkpointing is off.
+func openSweepStore(po SweepOpts) (*CheckpointStore, error) {
+	if po.CheckpointDir == "" {
+		return nil, nil
+	}
+	return OpenCheckpointDir(po.CheckpointDir)
+}
+
+// stampProvenance fills the manifest's provenance block: the execution
+// mode, the fork parameters when forking, and the checkpoint origin of
+// any cached jobs. A plain cold sweep with no store leaves the block nil
+// (the historical manifest shape).
+func stampProvenance(m *Manifest, mode string, cfg Config, fk *ForkOpts, store *CheckpointStore, rr *harness.RunResult) {
+	if m == nil {
+		return
+	}
+	cached := 0
+	for _, jr := range rr.Jobs {
+		if jr.Done && jr.Outcome.Cached {
+			cached++
+		}
+	}
+	if mode == "cold" && store == nil && cached == 0 {
+		return
+	}
+	p := &harness.Provenance{Mode: mode, CachedJobs: cached}
+	if fk != nil {
+		p.WarmSeed = cfg.Seed
+		p.ForkCycles = fk.WarmCycles
+		p.ForkLoad = fk.WarmLoad
+		p.ForkSettle = fk.Settle
+	}
+	if store != nil {
+		p.ResumedFrom = store.Dir()
+	}
+	m.Provenance = p
+}
+
+// runLoadSweepForked is the warm-fork execution of RunLoadSweepParallel:
+// one job per (pattern, algorithm) curve, each forking a shared snapshot
+// per load point serially in ascending load order (see ForkOpts for the
+// two modes and their determinism contracts). The worker pool parallelizes
+// across curves; the early-stop rule is the natural serial one inside each
+// curve, so no speculation is needed or run.
+func runLoadSweepForked(ctx context.Context, cfg Config, patterns, algs []string, loads []float64, opts RunOpts, po SweepOpts, store *CheckpointStore) ([]Curve, *Manifest, error) {
+	fk := po.Fork.withDefaults(opts.withDefaults())
+	mode := "pristine-fork"
+	if fk.WarmCycles > 0 {
+		mode = "warm-fork"
+	}
+	type curveID struct{ pat, alg string }
+	ids := make([]curveID, 0, len(patterns)*len(algs))
+	for _, pat := range patterns {
+		for _, alg := range algs {
+			ids = append(ids, curveID{pat, alg})
+		}
+	}
+
+	keyOpts := opts.withDefaults()
+	jobs := make([]harness.Job, 0, len(ids))
+	for c, id := range ids {
+		ccfg := cfg
+		ccfg.Algorithm = id.alg
+		jobs = append(jobs, harness.Job{
+			Curve: c,
+			Point: 0,
+			Label: fmt.Sprintf("%s/%s curve[%s]", id.pat, id.alg, mode),
+			Seed:  ccfg.Seed,
+			Run: func(jctx context.Context) (harness.Outcome, error) {
+				key := curveKey(ccfg, id.pat, loads, keyOpts, fk)
+				if store != nil {
+					var rec curveRecord
+					if ok, err := store.Load(key, &rec); err != nil {
+						return harness.Outcome{}, err
+					} else if ok {
+						return harness.Outcome{
+							Cached:    true,
+							Cycles:    rec.Stats.Cycles,
+							Events:    rec.Stats.Events,
+							Delivered: rec.Stats.Delivered,
+							Dropped:   rec.Stats.Dropped,
+							Value:     rec.Points,
+						}, nil
+					}
+				}
+				pts, st, err := runCurveWarmFork(jctx, ccfg, id.pat, loads, opts, fk)
+				if err != nil {
+					return harness.Outcome{}, err
+				}
+				if store != nil {
+					if err := store.Save(key, curveRecord{Points: pts, Stats: st}); err != nil {
+						return harness.Outcome{}, err
+					}
+				}
+				return harness.Outcome{
+					Cycles:    st.Cycles,
+					Events:    st.Events,
+					Delivered: st.Delivered,
+					Dropped:   st.Dropped,
+					Value:     pts,
+				}, nil
+			},
+		})
+	}
+
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	if rr != nil {
+		stampFaults(cfg, rr.Manifest)
+		stampProvenance(rr.Manifest, mode, cfg, &fk, store, rr)
+	}
+	if err != nil {
+		var m *Manifest
+		if rr != nil {
+			m = rr.Manifest
+		}
+		return nil, m, err
+	}
+
+	curves := make([]Curve, len(ids))
+	for c, id := range ids {
+		curves[c] = Curve{Pattern: id.pat, Algorithm: id.alg}
+	}
+	for _, jr := range rr.Jobs {
+		if jr.Done {
+			curves[jr.Job.Curve].Points = jr.Outcome.Value.([]LoadPoint)
+		}
+	}
+	return curves, rr.Manifest, nil
 }
 
 // Curve is one load-latency line of a Figure 6 panel: the sweep of one
@@ -59,6 +204,13 @@ type Curve struct {
 // Curves are returned in pattern-major order.
 func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []string, loads []float64, opts RunOpts, po SweepOpts) ([]Curve, *Manifest, error) {
 	cfg = cfg.withDefaults()
+	store, err := openSweepStore(po)
+	if err != nil {
+		return nil, nil, err
+	}
+	if po.Fork != nil {
+		return runLoadSweepForked(ctx, cfg, patterns, algs, loads, opts, po, store)
+	}
 	type curveID struct{ pat, alg string }
 	ids := make([]curveID, 0, len(patterns)*len(algs))
 	for _, pat := range patterns {
@@ -67,6 +219,7 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 		}
 	}
 
+	keyOpts := opts.withDefaults()
 	jobs := make([]harness.Job, 0, len(ids)*len(loads))
 	for c, id := range ids {
 		ccfg := cfg
@@ -78,9 +231,31 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 				Label: fmt.Sprintf("%s/%s@%.3f", id.pat, id.alg, load),
 				Seed:  ccfg.Seed,
 				Run: func(jctx context.Context) (harness.Outcome, error) {
+					key := pointKey(ccfg, id.pat, load, keyOpts)
+					if store != nil {
+						var rec pointRecord
+						if ok, err := store.Load(key, &rec); err != nil {
+							return harness.Outcome{}, err
+						} else if ok {
+							return harness.Outcome{
+								Saturated: rec.Point.Saturated,
+								Cached:    true,
+								Cycles:    rec.Stats.Cycles,
+								Events:    rec.Stats.Events,
+								Delivered: rec.Stats.Delivered,
+								Dropped:   rec.Stats.Dropped,
+								Value:     rec.Point,
+							}, nil
+						}
+					}
 					pt, st, err := runLoadPointCtx(jctx, ccfg, id.pat, load, opts)
 					if err != nil {
 						return harness.Outcome{}, err
+					}
+					if store != nil {
+						if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
+							return harness.Outcome{}, err
+						}
 					}
 					return harness.Outcome{
 						Saturated: pt.Saturated,
@@ -103,6 +278,7 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 	})
 	if rr != nil {
 		stampFaults(cfg, rr.Manifest)
+		stampProvenance(rr.Manifest, "cold", cfg, nil, store, rr)
 	}
 	if err != nil {
 		var m *Manifest

@@ -101,21 +101,31 @@ func runLoadPointCtx(ctx context.Context, cfg Config, patternName string, load f
 	if err != nil {
 		return LoadPoint{}, simStats{}, err
 	}
-
-	warm := sim.Time(opts.Warmup)
-	end := warm + sim.Time(opts.Window)
-	col := stats.NewCollector(warm, end)
-	inst.Net.OnDeliver = col.OnDeliver
-	inst.Net.OnDrop = col.OnDrop
-
 	gen := &traffic.Generator{
 		Net:     inst.Net,
 		Pattern: pat,
 		Sizes:   traffic.UniformSize{Min: opts.MinFlits, Max: opts.MaxFlits},
 		Load:    load,
-		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
 	}
 	gen.Start(inst.Cfg.Seed)
+	return runPointOn(ctx, inst, gen, load, opts, sim.Time(opts.Warmup))
+}
+
+// runPointOn measures one load point on an already-built instance whose
+// generator is started (and possibly warm): the network settles for settle
+// cycles from the current clock, every packet born during the next Window
+// cycles is measured, and injection continues until the measured tail
+// drains or the cap declares saturation. The cold path calls it straight
+// after Build+Start with settle = Warmup — bit-identical to the historical
+// inline implementation — and the warm-fork path calls it after a Restore
+// with a shorter settle, the fork having amortized the warmup.
+func runPointOn(ctx context.Context, inst *Instance, gen *traffic.Generator, load float64, opts RunOpts, settle sim.Time) (LoadPoint, simStats, error) {
+	warm := inst.K.Now() + settle
+	end := warm + sim.Time(opts.Window)
+	col := stats.NewCollector(warm, end)
+	inst.Net.OnDeliver = col.OnDeliver
+	inst.Net.OnDrop = col.OnDrop
+	gen.OnBirth = func(_, _, _ int, at sim.Time) { col.CountBirth(at) }
 
 	kstats := func() simStats {
 		return simStats{
