@@ -4,9 +4,9 @@
 # -race), and a short-deadline smoke sweep through the parallel engine.
 GO ?= go
 
-.PHONY: ci vet lint build test race quick smoke faultsmoke ckptsmoke fuzzshort cover bench
+.PHONY: ci vet lint build test race quick smoke faultsmoke ckptsmoke shardsmoke fuzzshort cover bench
 
-ci: vet lint build test race smoke faultsmoke ckptsmoke fuzzshort cover bench
+ci: vet lint build test race smoke faultsmoke ckptsmoke shardsmoke fuzzshort cover bench
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +87,20 @@ ckptsmoke:
 	@grep -q '"mode": "pristine-fork"' /tmp/hx-ckpt-resume.json || \
 		{ echo "FAIL: manifest provenance missing the fork mode"; exit 1; }
 	@echo ckptsmoke OK
+
+# Sharded-executor smoke: the same sweep serial and with every simulation
+# split across 4 shards must emit byte-identical CSVs — the end-to-end
+# form of the golden-trace shards-vs-serial equivalence claim. (The -race
+# pass over the executor itself lives in the race target: `go test -race
+# ./internal/...` covers internal/shard, and `-race -short .` runs the
+# root-package sharded determinism tests.)
+shardsmoke:
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q > /tmp/hx-shard-serial.csv
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q -shards 4 > /tmp/hx-shard-4.csv
+	cmp /tmp/hx-shard-serial.csv /tmp/hx-shard-4.csv
+	@echo shardsmoke OK
 
 # Short native-fuzz pass over the HyperX coordinate algebra. The seed
 # corpus is committed under internal/topology/testdata/fuzz; ten seconds

@@ -127,6 +127,13 @@ type curveRecord struct {
 	Stats  simStats    `json:"stats"`
 }
 
+// thptRecord is the persisted payload of one completed saturated-throughput
+// grid cell.
+type thptRecord struct {
+	Value float64  `json:"value"`
+	Stats simStats `json:"stats"`
+}
+
 // hexFloat renders a float for a checkpoint key: the 'x' format is exact
 // (every distinct float64 has a distinct rendering), so two loads that
 // differ in any bit never share a key.
@@ -149,7 +156,11 @@ func configKey(cfg Config) string {
 		cfg.Arbiter, cfg.Faults, cfg.FaultSeed, cfg.Seed)
 }
 
-// optsKey canonicalizes the RunOpts fields (callers pass defaulted opts).
+// optsKey canonicalizes the RunOpts fields that influence results (callers
+// pass defaulted opts). RunOpts.Shards is deliberately absent: the sharded
+// executor's event sequence is bit-identical to serial (see internal/shard),
+// so results never depend on the shard count and a cache written at one
+// count must serve runs at every other.
 func optsKey(opts RunOpts) string {
 	return fmt.Sprintf("warm=%d;win=%d;drain=%d;latcap=%s;minf=%d;maxf=%d",
 		opts.Warmup, opts.Window, opts.DrainCap, hexFloat(opts.LatencyCap),
@@ -160,6 +171,13 @@ func optsKey(opts RunOpts) string {
 func pointKey(cfg Config, pattern string, load float64, opts RunOpts) string {
 	return fmt.Sprintf("point|v%d|%s|pat=%s|load=%s|%s",
 		checkpointVersion, configKey(cfg), pattern, hexFloat(load), optsKey(opts))
+}
+
+// thptKey identifies one saturated-throughput grid cell. Offered load is
+// always 1.0 on this path, so it is not part of the key.
+func thptKey(cfg Config, pattern string, opts RunOpts) string {
+	return fmt.Sprintf("thpt|v%d|%s|pat=%s|%s",
+		checkpointVersion, configKey(cfg), pattern, optsKey(opts))
 }
 
 // curveKey identifies one warm-fork curve result (the whole load grid and

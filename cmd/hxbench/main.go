@@ -61,6 +61,7 @@ var suite = []struct {
 	{"BenchmarkRouterStep", perf.BenchRouterStep},
 	{"BenchmarkSweepPoint", perf.BenchSweepPoint},
 	{"BenchmarkPaperScaleSweepPoint", perf.BenchPaperScaleSweepPoint},
+	{"BenchmarkShardedSweepPoint", perf.BenchShardedSweepPoint},
 	{"BenchmarkSnapshotRestore", perf.BenchSnapshotRestore},
 	{"BenchmarkPaperScaleFootprint", perf.BenchPaperScaleFootprint},
 }

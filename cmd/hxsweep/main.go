@@ -23,6 +23,7 @@
 //	hxsweep -pattern UR -j 8 -manifest run.json       # 8 workers + run manifest
 //	hxsweep -pattern UR -faults 4 -manifest run.json  # sweep with 4 dead links
 //	hxsweep -resilience 6 -load 0.5                   # degradation vs fault count
+//	hxsweep -pattern UR -shards 4                     # sharded executor, same CSV bytes
 package main
 
 import (
@@ -51,6 +52,7 @@ func main() {
 		resilience = flag.Int("resilience", 0, "run the resilience experiment for 0..K failed links at -load")
 		load       = flag.Float64("load", 0.5, "fixed offered load for -resilience")
 		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); results are identical at any -j")
+		shards     = flag.Int("shards", 0, "cores per simulation via the deterministic sharded executor (0/1 = serial); results are bit-identical at any -shards")
 		manifest   = flag.String("manifest", "", "write a JSON run manifest (per-job wall time, cycles, events/sec) to this file")
 		quiet      = flag.Bool("q", false, "suppress the per-job progress lines on stderr")
 		warmfork   = flag.Bool("warmfork", false, "fork each curve's load points from one shared pristine snapshot (bit-identical CSV, one network build per curve)")
@@ -68,7 +70,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Faults = *faults
 	cfg.FaultSeed = *faultseed
-	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window}
+	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window, Shards: *shards}
 	algList := split(*algs)
 	po := hyperx.SweepOpts{Workers: *jobs, CheckpointDir: *ckptDir}
 	if !*quiet {

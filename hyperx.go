@@ -9,12 +9,14 @@
 package hyperx
 
 import (
+	"context"
 	"fmt"
 
 	"hyperx/internal/core"
 	"hyperx/internal/network"
 	"hyperx/internal/route"
 	"hyperx/internal/routing"
+	"hyperx/internal/shard"
 	"hyperx/internal/sim"
 	"hyperx/internal/topology"
 	"hyperx/internal/traffic"
@@ -121,6 +123,35 @@ type Instance struct {
 	Alg    route.Algorithm
 	Net    *network.Network
 	Faults *topology.FaultSet // nil when Cfg.Faults == 0
+
+	// Cached sharded executor (lazily built on the first runCtx with
+	// Shards > 1; rebuilt if the shard count changes).
+	shx  *shard.Executor
+	shxN int
+}
+
+// runCtx advances the instance's kernel to until: serially for
+// shards <= 1, or through the barrier-synchronized sharded executor
+// otherwise. Both paths execute the bit-identical event sequence — the
+// sharded executor's merge replays staged work in serial order (see
+// internal/shard) — so results never depend on the shard count, and
+// RunOpts.Shards stays out of the checkpoint key. Shard counts beyond
+// the router count are clamped.
+func (inst *Instance) runCtx(ctx context.Context, until sim.Time, shards int) (sim.Time, error) {
+	if nr := len(inst.Net.Routers); shards > nr {
+		shards = nr
+	}
+	if shards <= 1 {
+		return inst.K.RunCtx(ctx, until)
+	}
+	if inst.shx == nil || inst.shxN != shards {
+		if err := inst.Net.ConfigureShards(shards); err != nil {
+			return inst.K.Now(), err
+		}
+		inst.shx = shard.New(inst.K, inst.Net)
+		inst.shxN = shards
+	}
+	return inst.shx.RunCtx(ctx, until)
 }
 
 // faultAware is implemented by routing algorithms whose candidate

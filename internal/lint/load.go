@@ -44,6 +44,20 @@ var simPackages = map[string]bool{
 	"internal/topology": true,
 	"internal/stats":    true,
 	"internal/app":      true,
+	"internal/shard":    true,
+}
+
+// noconcExempt carves packages out of the noconc pass while keeping the
+// rest of the determinism scope (nodeterm, seedflow, maporder) in force.
+// internal/shard is the sole entry: it is the barrier-synchronized
+// sharded executor, whose entire purpose is in-instance concurrency.
+// Its determinism rests on a replay contract — staged effects merge in
+// global (router, seq) order at every cycle boundary — proven by the
+// golden-trace equivalence suite (shards N byte-identical to shards 1)
+// and the -race CI target, not by the absence of goroutines. Wall-clock
+// and global-RNG bans still apply there in full.
+var noconcExempt = map[string]bool{
+	"internal/shard": true,
 }
 
 // scopeFor classifies a module-relative package path ("" is the root

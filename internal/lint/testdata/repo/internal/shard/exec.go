@@ -1,0 +1,25 @@
+// Fixture: the noconc carve-out. internal/shard is exempt from the
+// noconc pass — the go statement and channel below must produce NO
+// findings — but the rest of the determinism scope still applies, so
+// the wall-clock call is a seeded nodeterm violation.
+package shard
+
+import "time"
+
+func fanIn(n int) int {
+	ch := make(chan int, n) // exempt: no channel-type finding here
+	for i := 0; i < n; i++ {
+		go func(v int) { // exempt: no go-statement finding here
+			ch <- v
+		}(i)
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += <-ch
+	}
+	return sum
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // violation: wall-clock in a simulation package
+}

@@ -150,6 +150,13 @@ type Network struct {
 	pool    *route.Packet // free list threaded through Packet.Next
 	nextPkt uint64
 
+	// Sharded-execution machinery (see shard.go): shards is built once by
+	// ConfigureShards; sharded is true only inside the executor's parallel
+	// phases, and is the single branch the hot path takes to divert
+	// schedule calls and global side effects to the per-shard stages.
+	shards  []*ShardState
+	sharded bool
+
 	// Snapshot plumbing (see snapshot.go / docs/STATE.md): the network
 	// retains its whole-network slabs so Snapshot/Restore can bulk-copy
 	// them, plus a reusable arena that restored live packets are rebuilt
@@ -282,21 +289,34 @@ func (n *Network) VCsForClass(c int8) []int8 { return n.classVCs[c] }
 // slab allocation and the steady state recycles without touching the heap.
 const pktChunk = 256
 
-// NewPacket takes a packet from the pool.
+// NewPacket takes a packet from the pool. In sharded mode the packet
+// comes from the allocating (source-router) shard's private pool and its
+// ID stays zero until the merge replays the staged assignment — nothing
+// reads the ID within its birth cycle, and the merge order reproduces the
+// serial nextPkt sequence exactly.
 func (n *Network) NewPacket(src, dst, flits int) *route.Packet {
-	if n.pool == nil {
-		chunk := make([]route.Packet, pktChunk)
-		for i := range chunk[:pktChunk-1] {
-			chunk[i].Next = &chunk[i+1]
-		}
-		n.pool = &chunk[0]
-	}
-	p := n.pool
-	n.pool = p.Next
-	n.nextPkt++
 	sr, _ := n.Cfg.Topo.TerminalPort(src)
 	dr, _ := n.Cfg.Topo.TerminalPort(dst)
-	*p = route.Packet{ID: n.nextPkt, Src: src, Dst: dst, SrcRouter: sr, DstRouter: dr, Len: flits}
+	var p *route.Packet
+	var id uint64
+	if n.sharded {
+		sc := n.Routers[sr].sc
+		p = sc.takePacket()
+		sc.stageFx(effect{kind: fxID, p: p})
+	} else {
+		if n.pool == nil {
+			chunk := make([]route.Packet, pktChunk)
+			for i := range chunk[:pktChunk-1] {
+				chunk[i].Next = &chunk[i+1]
+			}
+			n.pool = &chunk[0]
+		}
+		p = n.pool
+		n.pool = p.Next
+		n.nextPkt++
+		id = n.nextPkt
+	}
+	*p = route.Packet{ID: id, Src: src, Dst: dst, SrcRouter: sr, DstRouter: dr, Len: flits}
 	p.Reset()
 	return p
 }

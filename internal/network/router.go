@@ -113,6 +113,25 @@ type Router struct {
 	out   []outputPort
 	ctx   route.Ctx
 	wfree []*waiter // waiter pool: zero steady-state allocation in routeHead
+
+	// sc is this router's shard context, set once by ConfigureShards and
+	// consulted (behind net.sharded) wherever the router schedules events
+	// or touches global state. Nil until shards are configured.
+	sc *ShardState
+}
+
+// schedAt schedules a typed event, diverting to the shard stage during a
+// parallel phase so the merge can assign sequence numbers serially.
+func (r *Router) schedAt(t sim.Time, act sim.Actor, op uint8, a, b, c int32, p any) *sim.Event {
+	if r.net.sharded {
+		return r.sc.Stage.AtAct(t, act, op, a, b, c, p)
+	}
+	return r.net.K.AtAct(t, act, op, a, b, c, p)
+}
+
+// schedAfter is schedAt relative to the current cycle.
+func (r *Router) schedAfter(d sim.Time, act sim.Actor, op uint8, a, b, c int32, p any) *sim.Event {
+	return r.schedAt(r.net.K.Now()+d, act, op, a, b, c, p)
 }
 
 // Act implements sim.Actor: the typed-event entry point for all router
@@ -336,7 +355,7 @@ func (r *Router) routeHead(port int, vc int8) {
 		w.cand = cands[route.SelectMinWeight(ctx, cands)]
 		// A blocked decision goes stale; re-evaluate periodically so
 		// incremental adaptivity keeps responding to changing congestion.
-		w.timer = r.net.K.AfterAct(r.net.Cfg.ReRouteInterval, r, opReroute, 0, 0, 0, w)
+		w.timer = r.schedAfter(r.net.Cfg.ReRouteInterval, r, opReroute, 0, 0, 0, w)
 	}
 	o := &r.out[w.cand.Port]
 	//hxlint:allow allocfree — the waiter queue is slab-backed with capacity for one waiter per VC of the port, the registration invariant's maximum
@@ -384,22 +403,30 @@ func (r *Router) drop(port int, vc int8) {
 	iv := &r.in[port].vcs[vc]
 	p := iv.pop()
 	n := r.net
-	n.DroppedPackets++
-	n.DroppedFlits += uint64(p.Len)
-	if n.OnDrop != nil {
-		n.OnDrop(p, n.K.Now())
+	if n.sharded {
+		// Counters, the OnDrop observer, and the packet free replay at the
+		// merge in serial order.
+		r.sc.stageFx(effect{kind: fxDrop, p: p})
+	} else {
+		n.DroppedPackets++
+		n.DroppedFlits += uint64(p.Len)
+		if n.OnDrop != nil {
+			n.OnDrop(p, n.K.Now())
+		}
 	}
 	flits := p.Len
 	ip := &r.in[port]
 	if ip.fromTerminal >= 0 {
 		term := n.Terminals[ip.fromTerminal]
-		n.K.AtAct(n.K.Now()+ip.upLat, term, opTermCredit, int32(vc), int32(flits), 0, nil)
+		r.schedAt(n.K.Now()+ip.upLat, term, opTermCredit, int32(vc), int32(flits), 0, nil)
 	} else {
 		up := n.Routers[ip.peerRouter]
 		upPort := ip.peerPort
-		n.K.AtAct(n.K.Now()+ip.upLat, up, opCredit, int32(upPort), int32(vc), int32(flits), nil)
+		r.schedAt(n.K.Now()+ip.upLat, up, opCredit, int32(upPort), int32(vc), int32(flits), nil)
 	}
-	n.freePacket(p)
+	if !n.sharded {
+		n.freePacket(p)
+	}
 	if !iv.empty() {
 		r.routeHead(port, vc)
 	}
@@ -477,7 +504,7 @@ func (r *Router) scheduleAttempt(port int, t sim.Time) {
 		return // an attempt at or before t is already pending
 	}
 	o.attemptAt = t
-	r.net.K.AtAct(t, r, opAttempt, int32(port), 0, 0, nil)
+	r.schedAt(t, r, opAttempt, int32(port), 0, 0, nil)
 }
 
 // grant moves a packet from its input buffer across the crossbar and
@@ -500,16 +527,23 @@ func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 	o.grants++
 
 	if o.toTerminal >= 0 {
-		k.AtAct(now+r.net.Cfg.XbarLat+o.lat, r.net, opDeliver, 0, 0, 0, p)
+		r.schedAt(now+r.net.Cfg.XbarLat+o.lat, r.net, opDeliver, 0, 0, 0, p)
 	} else {
 		route.Commit(p, &cand)
 		o.credits[vc] -= int32(flits)
 		p.VC = vc
 		if r.net.OnHop != nil {
-			r.net.OnHop(p, r.id, cand.Port, vc)
+			if r.net.sharded {
+				// The packet is in flight for the rest of the cycle, so its
+				// committed routing state is stable until the merge replays
+				// the observer call.
+				r.sc.stageFx(effect{kind: fxHop, p: p, a: int32(r.id), b: int32(cand.Port), c: int32(vc)})
+			} else {
+				r.net.OnHop(p, r.id, cand.Port, vc)
+			}
 		}
 		dst := r.net.Routers[o.peerRouter]
-		k.AtAct(now+r.net.Cfg.XbarLat+o.lat, dst, opArrive, int32(o.peerPort), int32(vc), 0, p)
+		r.schedAt(now+r.net.Cfg.XbarLat+o.lat, dst, opArrive, int32(o.peerPort), int32(vc), 0, p)
 	}
 
 	// Upstream credit return: the last flit leaves our input buffer at
@@ -517,10 +551,10 @@ func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
 	ip := &r.in[inPort]
 	if ip.fromTerminal >= 0 {
 		term := r.net.Terminals[ip.fromTerminal]
-		k.AtAct(now+sim.Time(flits)+ip.upLat, term, opTermCredit, int32(inVC), int32(flits), 0, nil)
+		r.schedAt(now+sim.Time(flits)+ip.upLat, term, opTermCredit, int32(inVC), int32(flits), 0, nil)
 	} else {
 		up := r.net.Routers[ip.peerRouter]
-		k.AtAct(now+sim.Time(flits)+ip.upLat, up, opCredit, int32(ip.peerPort), int32(inVC), int32(flits), nil)
+		r.schedAt(now+sim.Time(flits)+ip.upLat, up, opCredit, int32(ip.peerPort), int32(inVC), int32(flits), nil)
 	}
 
 	if !iv.empty() {
@@ -538,8 +572,15 @@ func (r *Router) creditArrive(port int, vc int8, flits int) {
 	r.attempt(port)
 }
 
-// deliver completes a packet at its destination terminal.
+// deliver completes a packet at its destination terminal. In sharded mode
+// the whole completion — counters, observer, packet free — is staged on
+// the destination router's shard and replayed at the merge, preserving
+// the serial order of observer calls and pool operations.
 func (n *Network) deliver(p *route.Packet) {
+	if n.sharded {
+		n.shards[n.shardOfRouter(p.DstRouter)].stageFx(effect{kind: fxDeliver, p: p})
+		return
+	}
 	n.DeliveredPackets++
 	n.DeliveredFlits += uint64(p.Len)
 	if n.OnDeliver != nil {

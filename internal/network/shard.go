@@ -1,0 +1,409 @@
+// Sharded-execution support: the model-side half of the barrier-
+// synchronized parallel executor (internal/shard). See internal/sim/stage.go
+// for the kernel-side contract and docs/STATE.md for the full determinism
+// argument.
+//
+// Routers are partitioned into contiguous index blocks, one block per
+// shard; a terminal belongs to its router's shard, and every typed event
+// in the model resolves to the single shard whose slab state its callback
+// touches (sim.Sharded). During a cycle's parallel phase each shard
+// executes its slice of the cycle's events strictly in sequence order,
+// with all globally-visible work — schedule calls, aggregate counters,
+// observer callbacks, packet-ID assignment, packet frees — staged into
+// shard-private logs instead of applied. The single-threaded merge then
+// replays the logs in global sequence order, so sequence-number
+// assignment, counter updates, and observer call order are bit-identical
+// to a serial run.
+//
+// Why the parallel phase is race-free (each bullet names the state and
+// its owner during the phase):
+//
+//   - Router slab state (input VCs, output ports, credits, waiters,
+//     candidate scratch, per-router RNG): touched only by events of the
+//     owning router, all in one shard. route.View exposes only the
+//     deciding router's own output state.
+//   - Terminal state (source queue, injection credits): touched only by
+//     the terminal's own events and by the generator's injection event
+//     for that terminal — both map to the terminal's router's shard.
+//   - Packets: a packet is owned by exactly one queue or in-flight event
+//     at a time; every handoff crosses at least the terminal channel
+//     latency, so no two same-cycle events touch the same packet.
+//   - Kernel: the parallel phase only reads K.Now() (pinned for the
+//     cycle). Kernel.Cancel writes only the cancelled event's dead flag,
+//     and the model cancels only its own router's reroute timer —
+//     same-shard by construction. Drained events stay cancellable until
+//     they are executed or recycled (queued clears at recycle, not at
+//     drain), so a cancel aimed at a later-seq event of the same cycle
+//     lands under sharding exactly as it does serially, where the
+//     target would still be sitting in the calendar.
+//   - Everything else the phase reads (topology tables, algorithm state,
+//     Config, FaultSet, classVCs) is immutable during a run.
+package network
+
+import (
+	"fmt"
+
+	"hyperx/internal/route"
+	"hyperx/internal/sim"
+)
+
+// effect kinds: the globally-visible side effects a shard stages during
+// the parallel phase for the merge to replay in serial order.
+const (
+	fxID      uint8 = iota // assign the next packet ID (p)
+	fxInject               // injection counters (a=flits)
+	fxBirth                // generator birth observer (birth fn, a=src b=dst c=flits)
+	fxHop                  // OnHop observer (p, a=router b=port c=vc)
+	fxDeliver              // delivery counters + OnDeliver + packet free (p)
+	fxDrop                 // drop counters + OnDrop + packet free (p)
+	fxCount                // increment an external counter (aux)
+)
+
+// effect is one staged side effect. Replay happens the same cycle it was
+// staged, so pointer payloads (the packet, the observer closure) are
+// stable between staging and replay: a packet in a deliver/drop effect is
+// dead to the model, and an in-flight packet's fields cannot change again
+// within the cycle.
+type effect struct {
+	kind    uint8
+	a, b, c int32
+	p       *route.Packet
+	aux     *uint64
+	birth   func(src, dst, flits int, at sim.Time)
+}
+
+// execRec records one live event a shard executed: its trace identity and
+// the END offsets of its staged schedule calls and effects in the shard's
+// logs (the start offsets are the previous record's ends).
+type execRec struct {
+	at     sim.Time
+	seq    uint64
+	opsEnd int32
+	fxEnd  int32
+}
+
+// ShardState is one shard's private execution context. All fields are
+// written only by the owning shard during the parallel phase and only by
+// the coordinator during the merge.
+type ShardState struct {
+	// Stage collects the shard's schedule calls; exported so the traffic
+	// generator (package traffic) can stage its self-reschedule through it.
+	Stage *sim.Stage
+
+	net  *Network
+	idx  int
+	pool *route.Packet // shard-local packet free list (intrusive via Next)
+
+	fx    []effect
+	recs  []execRec
+	batch []*sim.Event // this shard's slice of the current cycle
+
+	// merge cursors (coordinator-only)
+	cur    int
+	opsPos int32
+	fxPos  int32
+}
+
+// stageFx appends a staged side effect.
+func (sc *ShardState) stageFx(f effect) {
+	//hxlint:allow allocfree — the effect log grows to the shard's per-cycle high-water effect count and is reset (not reallocated) every merge
+	sc.fx = append(sc.fx, f)
+}
+
+// StageBirth stages a generator birth-observer call (package traffic
+// cannot reach stageFx). The observer fires at the merge with the cycle's
+// time, exactly as the serial call would have.
+func (sc *ShardState) StageBirth(fn func(src, dst, flits int, at sim.Time), src, dst, flits int) {
+	sc.stageFx(effect{kind: fxBirth, a: int32(src), b: int32(dst), c: int32(flits), birth: fn})
+}
+
+// StageCount stages an increment of an external uint64 counter (e.g. the
+// generator's SelfRedirects).
+func (sc *ShardState) StageCount(ctr *uint64) {
+	sc.stageFx(effect{kind: fxCount, aux: ctr})
+}
+
+// takePacket pops a packet from the shard-local pool, refilling with a
+// chunk when empty.
+func (sc *ShardState) takePacket() *route.Packet {
+	if sc.pool == nil {
+		//hxlint:allow allocfree — chunked pool refill, identical to the serial pool's: one slab per pktChunk packets; steady state recycles shard-locally (a freed packet returns to its source router's shard) and never refills
+		chunk := make([]route.Packet, pktChunk)
+		for i := range chunk[:pktChunk-1] {
+			chunk[i].Next = &chunk[i+1]
+		}
+		sc.pool = &chunk[0]
+	}
+	p := sc.pool
+	sc.pool = p.Next
+	return p
+}
+
+// ConfigureShards partitions the network's routers into nsh contiguous
+// blocks and builds (or rebuilds) the per-shard execution contexts. It
+// does not activate sharded mode — EnterSharded does, per executor run —
+// so a configured network still runs serially, bit-identical to an
+// unconfigured one. nsh must be in [1, NumRouters].
+func (n *Network) ConfigureShards(nsh int) error {
+	nr := len(n.Routers)
+	if nsh < 1 || nsh > nr {
+		return fmt.Errorf("network: shard count %d outside [1, %d routers]", nsh, nr)
+	}
+	if n.sharded {
+		return fmt.Errorf("network: ConfigureShards while sharded mode is active")
+	}
+	//hxlint:allow allocfree — configuration-time path: runs once per executor (re)build, never inside the event loop
+	n.shards = make([]*ShardState, nsh)
+	for s := range n.shards {
+		n.shards[s] = &ShardState{Stage: sim.NewStage(), net: n, idx: s}
+	}
+	for _, r := range n.Routers {
+		r.sc = n.shards[n.shardOfRouter(r.id)]
+	}
+	for _, t := range n.Terminals {
+		t.sc = n.shards[n.shardOfRouter(t.router)]
+	}
+	return nil
+}
+
+// NumShards returns the configured shard count (1 when unconfigured).
+func (n *Network) NumShards() int {
+	if len(n.shards) == 0 {
+		return 1
+	}
+	return len(n.shards)
+}
+
+// shardOfRouter maps a router index to its contiguous-block shard.
+func (n *Network) shardOfRouter(r int) int {
+	return r * len(n.shards) / len(n.Routers)
+}
+
+// ShardOfTerminal maps a terminal to its router's shard (used by the
+// traffic generator's sim.Sharded implementation).
+func (n *Network) ShardOfTerminal(t int) int {
+	return n.shardOfRouter(n.Terminals[t].router)
+}
+
+// TerminalShard returns terminal t's active shard context, or nil when
+// sharded mode is off — the branch the generator's staging hangs off.
+func (n *Network) TerminalShard(t int) *ShardState {
+	if !n.sharded {
+		return nil
+	}
+	return n.Terminals[t].sc
+}
+
+// EnterSharded activates sharded mode: schedule calls and globally-
+// visible side effects divert to the per-shard stages until ExitSharded.
+// The executor brackets every parallel phase with this pair, dropping to
+// serial mode for cycles that cannot be sharded.
+func (n *Network) EnterSharded() { n.sharded = true }
+
+// ExitSharded deactivates sharded mode.
+func (n *Network) ExitSharded() { n.sharded = false }
+
+// ShardOf implements sim.Sharded for the network actor: delivery
+// completion (opDeliver) touches only staged aggregate state and is
+// assigned to the destination router's shard.
+func (n *Network) ShardOf(_ uint8, _, _, _ int32, p any) int {
+	return n.shardOfRouter(p.(*route.Packet).DstRouter)
+}
+
+// ShardOf implements sim.Sharded: every router event (arrive, attempt,
+// credit, reroute) touches only the receiving router's slab state.
+func (r *Router) ShardOf(_ uint8, _, _, _ int32, _ any) int {
+	return r.net.shardOfRouter(r.id)
+}
+
+// ShardOf implements sim.Sharded: terminal events (retry, credit) touch
+// only the terminal, which lives with its router.
+func (t *Terminal) ShardOf(_ uint8, _, _, _ int32, _ any) int {
+	return t.net.shardOfRouter(t.router)
+}
+
+// PartitionCycle distributes one drained cycle's events to their shards'
+// batch lists, preserving sequence order within each shard (the input is
+// globally sequence-sorted). It returns false — with every batch list
+// cleared — when any event cannot be sharded (a closure, or an actor
+// outside the model); the executor then runs that cycle serially.
+func (n *Network) PartitionCycle(batch []*sim.Event) bool {
+	for _, e := range batch {
+		s, ok := e.Shard()
+		if !ok {
+			for _, sc := range n.shards {
+				clearBatch(sc)
+			}
+			return false
+		}
+		sc := n.shards[s]
+		//hxlint:allow allocfree — the per-shard batch list grows to the shard's per-cycle high-water event count and is reset every cycle
+		sc.batch = append(sc.batch, e)
+	}
+	return true
+}
+
+func clearBatch(sc *ShardState) {
+	for i := range sc.batch {
+		sc.batch[i] = nil
+	}
+	sc.batch = sc.batch[:0]
+}
+
+// BatchLen reports how many of the current cycle's events shard s owns.
+func (n *Network) BatchLen(s int) int { return len(n.shards[s].batch) }
+
+// RunShard executes shard s's slice of the current cycle, in sequence
+// order, entirely against shard-private state: dead events are recycled
+// into the shard's event pool (the serial kernel recycles them unexecuted
+// too), live events run through the shard's Stage, and each live event's
+// staged-work end offsets are recorded for the merge.
+func (n *Network) RunShard(s int) {
+	sc := n.shards[s]
+	sc.Stage.StartCycle(n.K.Now())
+	for _, e := range sc.batch {
+		if e.Dead() {
+			sc.Stage.Recycle(e)
+			continue
+		}
+		at, seq := e.At(), e.Seq()
+		sc.Stage.Exec(e)
+		//hxlint:allow allocfree — the exec-record log grows to the shard's per-cycle high-water live-event count and is reset every merge
+		sc.recs = append(sc.recs, execRec{at: at, seq: seq, opsEnd: int32(sc.Stage.StagedLen()), fxEnd: int32(len(sc.fx))})
+	}
+	clearBatch(sc)
+}
+
+// MergeCycle replays the cycle's staged work into the kernel and the
+// network in global sequence order: a (nsh)-way merge over the shards'
+// execution records (each already sequence-sorted) drives, per executed
+// event, the trace hook, the injection of its staged schedule calls (this
+// is where sequence numbers are assigned, in exactly the serial order:
+// executing-event order crossed with within-callback program order), and
+// the replay of its staged side effects. Coordinator-only, between
+// parallel phases.
+func (n *Network) MergeCycle() {
+	k := n.K
+	for _, sc := range n.shards {
+		sc.cur, sc.opsPos, sc.fxPos = 0, 0, 0
+	}
+	var live uint64
+	for {
+		var pick *ShardState
+		for _, sc := range n.shards {
+			if sc.cur >= len(sc.recs) {
+				continue
+			}
+			if pick == nil || sc.recs[sc.cur].seq < pick.recs[pick.cur].seq {
+				pick = sc
+			}
+		}
+		if pick == nil {
+			break
+		}
+		rec := &pick.recs[pick.cur]
+		pick.cur++
+		live++
+		if k.TraceExec != nil {
+			k.TraceExec(rec.at, rec.seq)
+		}
+		pick.Stage.ReplayOps(k, int(pick.opsPos), int(rec.opsEnd))
+		pick.opsPos = rec.opsEnd
+		n.replayFx(pick.fx[pick.fxPos:rec.fxEnd])
+		pick.fxPos = rec.fxEnd
+	}
+	k.AddExecuted(live)
+	for _, sc := range n.shards {
+		sc.Stage.ResetOps()
+		for i := range sc.fx {
+			sc.fx[i] = effect{}
+		}
+		sc.fx = sc.fx[:0]
+		sc.recs = sc.recs[:0]
+	}
+	n.rebalanceStages()
+}
+
+// replayFx applies one event's staged side effects in program order.
+// Runs at the merge, single-threaded, with the kernel clock still at the
+// cycle's time, so observer callbacks see exactly the serial timestamps.
+func (n *Network) replayFx(fx []effect) {
+	now := n.K.Now()
+	for i := range fx {
+		f := &fx[i]
+		switch f.kind {
+		case fxID:
+			n.nextPkt++
+			f.p.ID = n.nextPkt
+		case fxInject:
+			n.InjectedPackets++
+			n.InjectedFlits += uint64(f.a)
+		case fxBirth:
+			f.birth(int(f.a), int(f.b), int(f.c), now)
+		case fxHop:
+			if n.OnHop != nil {
+				n.OnHop(f.p, int(f.a), int(f.b), int8(f.c))
+			}
+		case fxDeliver:
+			n.DeliveredPackets++
+			n.DeliveredFlits += uint64(f.p.Len)
+			if n.OnDeliver != nil {
+				n.OnDeliver(f.p, now)
+			}
+			n.shardFreePacket(f.p)
+		case fxDrop:
+			n.DroppedPackets++
+			n.DroppedFlits += uint64(f.p.Len)
+			if n.OnDrop != nil {
+				n.OnDrop(f.p, now)
+			}
+			n.shardFreePacket(f.p)
+		case fxCount:
+			*f.aux++
+		}
+	}
+}
+
+// shardFreePacket returns a dead packet to the pool of the shard that
+// allocated it — the source router's — closing the per-shard circulation:
+// each shard's allocation rate equals its long-run free-return rate, so
+// no pool grows without bound.
+func (n *Network) shardFreePacket(p *route.Packet) {
+	sc := n.shards[n.shardOfRouter(p.SrcRouter)]
+	p.Next = sc.pool
+	sc.pool = p
+}
+
+// rebalanceStages equalizes the shards' event-pool depths after a merge.
+// Staged events migrate between shards through the calendar (shard A
+// stages an event that shard B later drains and recycles), so asymmetric
+// traffic would otherwise drain one stage's pool — forcing fresh chunk
+// allocations — while growing another's forever.
+func (n *Network) rebalanceStages() {
+	nsh := len(n.shards)
+	if nsh < 2 {
+		return
+	}
+	total := 0
+	for _, sc := range n.shards {
+		total += sc.Stage.PoolLen()
+	}
+	target := total / nsh
+	recv := 0
+	for _, sc := range n.shards {
+		for sc.Stage.PoolLen() > target+1 {
+			for recv < nsh && n.shards[recv].Stage.PoolLen() >= target {
+				recv++
+			}
+			if recv == nsh {
+				return
+			}
+			dst := n.shards[recv].Stage
+			move := sc.Stage.PoolLen() - target
+			if deficit := target - dst.PoolLen(); deficit < move {
+				move = deficit
+			}
+			sc.Stage.MoveFree(dst, move)
+		}
+	}
+}

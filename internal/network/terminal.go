@@ -24,6 +24,19 @@ type Terminal struct {
 	qlen         int
 
 	retryAt sim.Time
+
+	// sc is the shard context of the terminal's router, set once by
+	// ConfigureShards (see Router.sc).
+	sc *ShardState
+}
+
+// schedAt schedules a typed event, diverting to the shard stage during a
+// parallel phase (see Router.schedAt).
+func (t *Terminal) schedAt(at sim.Time, act sim.Actor, op uint8, a, b, c int32, p any) *sim.Event {
+	if t.net.sharded {
+		return t.sc.Stage.AtAct(at, act, op, a, b, c, p)
+	}
+	return t.net.K.AtAct(at, act, op, a, b, c, p)
 }
 
 // initTerminal wires a slab-allocated Terminal in place; credits is the
@@ -96,10 +109,14 @@ func (t *Terminal) tryInject() {
 		t.credits[vc] -= int32(p.Len)
 		t.busyUntil = now + sim.Time(p.Len)
 		p.Inject = now
-		t.net.InjectedPackets++
-		t.net.InjectedFlits += uint64(p.Len)
+		if t.net.sharded {
+			t.sc.stageFx(effect{kind: fxInject, a: int32(p.Len)})
+		} else {
+			t.net.InjectedPackets++
+			t.net.InjectedFlits += uint64(p.Len)
+		}
 		rt := t.net.Routers[t.router]
-		k.AtAct(now+t.lat, rt, opArrive, int32(t.rport), int32(vc), 0, p)
+		t.schedAt(now+t.lat, rt, opArrive, int32(t.rport), int32(vc), 0, p)
 	}
 }
 
@@ -125,7 +142,7 @@ func (t *Terminal) scheduleRetry(at sim.Time) {
 		return
 	}
 	t.retryAt = at
-	t.net.K.AtAct(at, t, opTermRetry, 0, 0, 0, nil)
+	t.schedAt(at, t, opTermRetry, 0, 0, 0, nil)
 }
 
 // creditArrive restores injection credits.

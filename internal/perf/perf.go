@@ -17,10 +17,12 @@
 package perf
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
 	"hyperx"
+	"hyperx/internal/shard"
 	"hyperx/internal/sim"
 	"hyperx/internal/stats"
 	"hyperx/internal/traffic"
@@ -174,6 +176,75 @@ func BenchPaperScaleSweepPoint(b *testing.B) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		events += sweepPoint(b, cfg, load, warmup, window)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// sweepPointSharded mirrors sweepPoint through the barrier-synchronized
+// sharded executor (internal/shard): identical scenario, identical event
+// sequence — the sharded contract — with the per-cycle work fanned out
+// over shards worth of workers.
+func sweepPointSharded(b *testing.B, cfg hyperx.Config, load float64, warmup, window sim.Time, shards int) uint64 {
+	inst, err := hyperx.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.Net.ConfigureShards(shards); err != nil {
+		b.Fatal(err)
+	}
+	x := shard.New(inst.K, inst.Net)
+	run := func(until sim.Time) {
+		if _, err := x.RunCtx(context.Background(), until); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pat, err := hyperx.NewPattern("UR", inst.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	end := warmup + window
+	col := stats.NewCollector(warmup, end)
+	inst.Net.OnDeliver = col.OnDeliver
+	gen := &traffic.Generator{
+		Net:     inst.Net,
+		Pattern: pat,
+		Sizes:   traffic.UniformSize{Min: 1, Max: 16},
+		Load:    load,
+		OnBirth: func(_, _, _ int, at sim.Time) { col.CountBirth(at) },
+	}
+	gen.Start(inst.Cfg.Seed)
+	run(end)
+	deadline := end + 10*window
+	for !col.Done() && inst.K.Now() < deadline {
+		run(inst.K.Now() + 2000)
+	}
+	gen.Stop()
+	if inst.Net.DeliveredPackets == 0 {
+		b.Fatal("sharded sweep point delivered nothing")
+	}
+	return inst.K.Executed()
+}
+
+// BenchShardedSweepPoint is BenchPaperScaleSweepPoint through the sharded
+// executor at 4 shards: the same 4,096-node 8x8x8 t=8 point, the same
+// (bit-identical) event sequence, executed cycle-by-cycle on a worker
+// pool. Its events/sec against BenchmarkPaperScaleSweepPoint is the
+// measured shard speedup; on a single-core host it instead bounds the
+// synchronization overhead (barrier, staging, merge), which the gate
+// keeps from regressing.
+func BenchShardedSweepPoint(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		load   = 0.6
+		warmup = 500
+		window = 500
+		shards = 4
+	)
+	cfg := hyperx.PaperScale()
+	cfg.Algorithm = "DimWAR"
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += sweepPointSharded(b, cfg, load, warmup, window, shards)
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

@@ -13,6 +13,8 @@ func BenchmarkSweepPoint(b *testing.B) { BenchSweepPoint(b) }
 
 func BenchmarkPaperScaleSweepPoint(b *testing.B) { BenchPaperScaleSweepPoint(b) }
 
+func BenchmarkShardedSweepPoint(b *testing.B) { BenchShardedSweepPoint(b) }
+
 func BenchmarkSnapshotRestore(b *testing.B) { BenchSnapshotRestore(b) }
 
 func BenchmarkPaperScaleFootprint(b *testing.B) { BenchPaperScaleFootprint(b) }

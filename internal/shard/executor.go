@@ -1,0 +1,170 @@
+// Package shard runs one simulation across multiple cores while keeping
+// the executed event sequence bit-identical to a serial run.
+//
+// The executor advances the kernel one timestamp at a time: it drains
+// every event of the earliest cycle (already globally sequence-sorted),
+// partitions them across the model's shards, executes the shards in
+// parallel workers, and then has the model merge the staged schedule
+// calls and side effects back into the kernel in global sequence order.
+// Determinism therefore never depends on goroutine scheduling: the
+// parallel phase touches only shard-private state (see
+// internal/network/shard.go for the ownership argument), and everything
+// order-sensitive happens in the single-threaded merge. The barrier is
+// the conservative synchronization window — every model latency is at
+// least one cycle, so an event can only be scheduled by a strictly
+// earlier cycle (or staged within its own, which the merge re-drains).
+//
+// This package is the concurrency carve-out of the simulator: it is the
+// only determinism-scoped package allowed to use goroutines (hxlint's
+// noconc pass exempts exactly this package), and it contains no model
+// logic — just fan-out, barrier, and the serial-equivalence edge cases
+// of Kernel.Run's until-boundary.
+//
+// Unsupported in sharded mode: Kernel.Halt from inside an event (the
+// halt flag is only checked at cycle boundaries, so the rest of the
+// halting event's cycle still executes; the facade never halts mid-run).
+// Context cancellation is polled per cycle rather than every few
+// thousand events; a cancelled run has executed a strict prefix of the
+// serial schedule either way and is discarded by its caller.
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"hyperx/internal/sim"
+)
+
+// Model is the sharded simulation model (implemented by
+// network.Network). The executor calls EnterSharded/ExitSharded around
+// parallel execution, PartitionCycle/RunShard for the parallel phase,
+// and MergeCycle for the deterministic replay.
+type Model interface {
+	NumShards() int
+	EnterSharded()
+	ExitSharded()
+	// PartitionCycle distributes a drained cycle to the shards' batches,
+	// returning false (with batches cleared) if the cycle holds an event
+	// that cannot be sharded and must run serially.
+	PartitionCycle(batch []*sim.Event) bool
+	// BatchLen reports shard s's share of the current cycle.
+	BatchLen(s int) int
+	// RunShard executes shard s's batch against shard-private state.
+	RunShard(s int)
+	// MergeCycle replays all shards' staged work in global seq order.
+	MergeCycle()
+}
+
+// Executor drives one kernel/model pair. Not safe for concurrent use;
+// create one per simulation instance and call RunCtx from one goroutine.
+type Executor struct {
+	k   *sim.Kernel
+	m   Model
+	buf []*sim.Event
+}
+
+// New returns an executor over the kernel and model. The model must have
+// its shards configured already (network.Network.ConfigureShards).
+func New(k *sim.Kernel, m Model) *Executor {
+	return &Executor{k: k, m: m}
+}
+
+// RunCtx executes events until the queue is empty, the clock passes
+// until (when until > 0), Halt is observed at a cycle boundary, or ctx
+// is cancelled. The executed event sequence — and every observable model
+// state — is bit-identical to sim.Kernel.RunCtx over the same schedule,
+// including Run's two historical boundary quirks: a live event directly
+// after a dead seq-tail executes past until, and the boundary stop can
+// rewind the clock to until afterwards.
+func (x *Executor) RunCtx(ctx context.Context, until sim.Time) (sim.Time, error) {
+	k := x.k
+	k.ClearHalt()
+	nsh := x.m.NumShards()
+	x.m.EnterSharded()
+	defer x.m.ExitSharded()
+
+	// Per-run worker pool: nsh-1 workers plus the coordinator (which runs
+	// the first nonempty shard inline) cover all shards each cycle. The
+	// channel send/receive pair and the WaitGroup give the happens-before
+	// edges between the coordinator and every shard execution.
+	work := make(chan int, nsh)
+	var cycle sync.WaitGroup
+	var workers sync.WaitGroup
+	for w := 0; w < nsh-1; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for s := range work {
+				x.m.RunShard(s)
+				cycle.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(work)
+		workers.Wait()
+	}()
+
+	for {
+		if k.Halted() {
+			return k.Now(), nil
+		}
+		select {
+		case <-ctx.Done():
+			return k.Now(), ctx.Err()
+		default:
+		}
+		t, ok := k.PeekTime()
+		if !ok {
+			return k.Now(), nil
+		}
+		if until > 0 && t > until {
+			k.SetNow(until)
+			return k.Now(), nil
+		}
+		_, batch := k.DrainCycle(x.buf)
+		x.buf = batch
+		lastDead := batch[len(batch)-1].Dead()
+		if x.m.PartitionCycle(batch) {
+			inline := -1
+			for s := 0; s < nsh; s++ {
+				if x.m.BatchLen(s) == 0 {
+					continue
+				}
+				if inline < 0 {
+					inline = s
+					continue
+				}
+				cycle.Add(1)
+				work <- s
+			}
+			if inline >= 0 {
+				x.m.RunShard(inline)
+			}
+			cycle.Wait()
+			x.m.MergeCycle()
+		} else {
+			// Unshardable cycle (closure event or foreign actor): run it
+			// serially with sharded mode off. Events it schedules for this
+			// same cycle land in the calendar and are re-drained next
+			// iteration, exactly as the serial pop loop would order them.
+			x.m.ExitSharded()
+			for _, e := range batch {
+				k.ExecDrained(e)
+			}
+			x.m.EnterSharded()
+		}
+		if lastDead && until > 0 {
+			// Serial Run's pop-until-live chain: dead events skip the until
+			// recheck, so when a cycle's seq-tail is dead and the next event
+			// lies beyond the boundary, serial executes one more live event
+			// (however far ahead) before stopping. Reproduce it with one
+			// serial Step, then stop at the boundary as serial does.
+			if t2, ok2 := k.PeekTime(); ok2 && t2 > until {
+				x.m.ExitSharded()
+				k.Step()
+				x.m.EnterSharded()
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package shard
+
+// Executor tests against a toy sharded model, independent of the network:
+// a ring of counter slots where each event increments its slot and
+// schedules follow-on events, sometimes across shards. The toy implements
+// the same staging discipline as internal/network (stage into the
+// executing shard, merge replays in global seq order), so these tests pin
+// the executor's serial-equivalence edge cases — until boundaries, dead
+// seq-tails, closure fallback — with exact expectations computed from a
+// serial kernel running the identical schedule.
+
+import (
+	"context"
+	"testing"
+
+	"hyperx/internal/sim"
+)
+
+// toyRec mirrors network.execRec: one executed event's replay window.
+type toyRec struct {
+	at      sim.Time
+	seq     uint64
+	opsEnd  int
+	dead    bool
+	hasDead bool
+}
+
+// toy is a sharded model over nsh counter slots; slot i lives on shard
+// i%nsh. Each event increments slot a and, while below limit, schedules
+// the slot's next tick at +step; every third tick also pokes slot a+1 —
+// cross-shard traffic whose ordering the merge must serialize.
+type toy struct {
+	k       *sim.Kernel
+	stages  []*sim.Stage
+	batches [][]*sim.Event
+	recs    [][]toyRec
+	opsPos  []int
+	slots   []int64
+	sharded bool
+	limit   sim.Time
+}
+
+func newToy(k *sim.Kernel, nsh, slots int, limit sim.Time) *toy {
+	m := &toy{k: k, slots: make([]int64, slots), limit: limit}
+	for s := 0; s < nsh; s++ {
+		m.stages = append(m.stages, sim.NewStage())
+		m.batches = append(m.batches, nil)
+		m.recs = append(m.recs, nil)
+		m.opsPos = append(m.opsPos, 0)
+	}
+	return m
+}
+
+func (m *toy) shardOf(slot int32) int { return int(slot) % len(m.stages) }
+
+// ShardOf implements sim.Sharded.
+func (m *toy) ShardOf(_ uint8, a, _, _ int32, _ any) int { return m.shardOf(a) }
+
+// Act implements sim.Actor: op 0 is a tick, op 1 a one-shot poke.
+func (m *toy) Act(op uint8, a, b, _ int32, _ any) {
+	m.slots[a]++
+	if op != 0 {
+		return
+	}
+	sched := func(at sim.Time, op uint8, slot, gen int32) {
+		if m.sharded {
+			// Stage into the EXECUTING shard (slot a's), whatever shard the
+			// new event will run on — the merge replays it from here.
+			m.stages[m.shardOf(a)].AtAct(at, m, op, slot, gen, 0, nil)
+		} else {
+			m.k.AtAct(at, m, op, slot, gen, 0, nil)
+		}
+	}
+	now := m.now()
+	if now+3 <= m.limit {
+		sched(now+3, 0, a, b+1)
+	}
+	if b%3 == 0 {
+		sched(now+5, 1, (a+1)%int32(len(m.slots)), 0)
+	}
+}
+
+// now reads the kernel clock: pinned by DrainCycle for the whole cycle,
+// it is safe to read from parallel shards (the same contract the network
+// model relies on).
+func (m *toy) now() sim.Time { return m.k.Now() }
+
+func (m *toy) NumShards() int { return len(m.stages) }
+func (m *toy) EnterSharded()  { m.sharded = true }
+func (m *toy) ExitSharded()   { m.sharded = false }
+
+func (m *toy) PartitionCycle(batch []*sim.Event) bool {
+	for _, e := range batch {
+		s, ok := e.Shard()
+		if !ok {
+			for i := range m.batches {
+				m.batches[i] = m.batches[i][:0]
+			}
+			return false
+		}
+		m.batches[s] = append(m.batches[s], e)
+	}
+	return true
+}
+
+func (m *toy) BatchLen(s int) int { return len(m.batches[s]) }
+
+func (m *toy) RunShard(s int) {
+	st := m.stages[s]
+	st.StartCycle(m.k.Now())
+	for _, e := range m.batches[s] {
+		if e.Dead() {
+			m.recs[s] = append(m.recs[s], toyRec{at: e.At(), seq: e.Seq(), dead: true})
+			st.Recycle(e)
+			continue
+		}
+		at, seq := e.At(), e.Seq()
+		st.Exec(e)
+		m.recs[s] = append(m.recs[s], toyRec{at: at, seq: seq, opsEnd: st.StagedLen()})
+	}
+	m.batches[s] = m.batches[s][:0]
+}
+
+func (m *toy) MergeCycle() {
+	var live uint64
+	for {
+		pick := -1
+		for s := range m.recs {
+			if len(m.recs[s]) == 0 {
+				continue
+			}
+			if pick < 0 || m.recs[s][0].seq < m.recs[pick][0].seq {
+				pick = s
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		rec := m.recs[pick][0]
+		m.recs[pick] = m.recs[pick][1:]
+		if rec.dead {
+			continue
+		}
+		live++
+		if tr := m.k.TraceExec; tr != nil {
+			tr(rec.at, rec.seq)
+		}
+		m.stages[pick].ReplayOps(m.k, m.opsPos[pick], rec.opsEnd)
+		m.opsPos[pick] = rec.opsEnd
+	}
+	m.k.AddExecuted(live)
+	for s := range m.stages {
+		m.stages[s].ResetOps()
+		m.recs[s] = m.recs[s][:0]
+		m.opsPos[s] = 0
+	}
+}
+
+// trace captures the executed (time, seq) stream of a kernel.
+func trace(k *sim.Kernel) *[][2]uint64 {
+	var tr [][2]uint64
+	k.TraceExec = func(at sim.Time, seq uint64) { tr = append(tr, [2]uint64{uint64(at), seq}) }
+	return &tr
+}
+
+// seedToy schedules the initial ticks: one per slot at staggered times.
+func seedToy(k *sim.Kernel, m *toy) {
+	for i := range m.slots {
+		k.AtAct(sim.Time(1+i%4), m, 0, int32(i), 0, 0, nil)
+	}
+}
+
+func runPair(t *testing.T, nsh, slots int, limit, until sim.Time, mutate func(serial, sharded *sim.Kernel, sm, xm *toy)) {
+	t.Helper()
+	sk := sim.NewKernel()
+	sm := newToy(sk, nsh, slots, limit)
+	seedToy(sk, sm)
+	xk := sim.NewKernel()
+	xm := newToy(xk, nsh, slots, limit)
+	seedToy(xk, xm)
+	if mutate != nil {
+		mutate(sk, xk, sm, xm)
+	}
+	str, xtr := trace(sk), trace(xk)
+
+	sk.Run(until)
+	if _, err := New(xk, xm).RunCtx(context.Background(), until); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(*str) != len(*xtr) {
+		t.Fatalf("executor ran %d events, serial %d", len(*xtr), len(*str))
+	}
+	for i := range *str {
+		if (*str)[i] != (*xtr)[i] {
+			t.Fatalf("event %d diverged: executor (t=%d seq=%d), serial (t=%d seq=%d)",
+				i, (*xtr)[i][0], (*xtr)[i][1], (*str)[i][0], (*str)[i][1])
+		}
+	}
+	for i := range sm.slots {
+		if sm.slots[i] != xm.slots[i] {
+			t.Fatalf("slot %d: executor %d, serial %d", i, xm.slots[i], sm.slots[i])
+		}
+	}
+	if sk.Now() != xk.Now() || sk.Executed() != xk.Executed() {
+		t.Fatalf("end state: executor (now=%d exec=%d), serial (now=%d exec=%d)",
+			xk.Now(), xk.Executed(), sk.Now(), sk.Executed())
+	}
+}
+
+func TestExecutorMatchesSerial(t *testing.T) {
+	for _, nsh := range []int{1, 2, 3, 4} {
+		runPair(t, nsh, 8, 400, 0, nil)
+	}
+}
+
+// TestExecutorUntilBoundary: stopping at an until that falls between,
+// on, and just before event times matches Kernel.Run's boundary behavior
+// (including the clock assignment to until).
+func TestExecutorUntilBoundary(t *testing.T) {
+	for _, until := range []sim.Time{1, 2, 7, 100, 101, 399, 400, 1000} {
+		runPair(t, 3, 8, 400, until, nil)
+	}
+}
+
+// TestExecutorDeadTailOvershoot: when the boundary cycle's seq-tail is
+// dead and the next live event lies beyond until, serial Run executes
+// that one extra event before stopping; the executor must reproduce it.
+func TestExecutorDeadTailOvershoot(t *testing.T) {
+	mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
+		// A lone dead event at the boundary cycle, nothing else there: the
+		// pop-until-live chain skips past it into the next cycle.
+		sk.Cancel(sk.AtAct(50, sm, 1, 0, 0, 0, nil))
+		xk.Cancel(xk.AtAct(50, xm, 1, 0, 0, 0, nil))
+	}
+	runPair(t, 2, 4, 400, 50, mutate)
+}
+
+// TestExecutorClosureFallback: closure events carry no shard, forcing
+// their whole cycle through the serial fallback; execution stays
+// bit-identical including events the closure schedules for its own cycle.
+func TestExecutorClosureFallback(t *testing.T) {
+	mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
+		for _, pair := range []struct {
+			k *sim.Kernel
+			m *toy
+		}{{sk, sm}, {xk, xm}} {
+			k, m := pair.k, pair.m
+			k.At(20, func() {
+				m.slots[0] += 100
+				// Same-cycle schedule from inside the fallback: must land
+				// after the current batch, exactly as the serial pop loop
+				// orders it.
+				k.AtAct(20, m, 1, 1, 0, 0, nil)
+			})
+		}
+	}
+	runPair(t, 3, 6, 400, 0, mutate)
+}
+
+// TestExecutorEmptyAndHalt: an empty calendar returns immediately; a
+// mid-run Halt is observed at the next cycle boundary (the documented
+// sharded-mode contract), stopping with later events still queued; and a
+// fresh RunCtx clears the flag and resumes, exactly as Kernel.Run does.
+func TestExecutorEmptyAndHalt(t *testing.T) {
+	k := sim.NewKernel()
+	m := newToy(k, 2, 4, 100)
+	x := New(k, m)
+	if now, err := x.RunCtx(context.Background(), 0); err != nil || now != 0 {
+		t.Fatalf("empty run = (%d, %v), want (0, nil)", now, err)
+	}
+	seedToy(k, m)
+	k.At(10, func() { k.Halt() })
+	if _, err := x.RunCtx(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Halted() {
+		t.Fatal("halt flag not observed")
+	}
+	if k.Now() > 10 {
+		t.Fatalf("executor ran past the halting cycle: now=%d", k.Now())
+	}
+	if _, ok := k.PeekTime(); !ok {
+		t.Fatal("halted run drained the calendar; later events must stay queued")
+	}
+	// Resuming clears the flag (as Kernel.Run does) and drains the rest.
+	if _, err := x.RunCtx(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.PeekTime(); ok {
+		t.Fatal("resumed run left events queued")
+	}
+}
+
+// TestExecutorContextCancel: cancellation stops the run with ctx.Err()
+// after a strict prefix of the serial schedule.
+func TestExecutorContextCancel(t *testing.T) {
+	k := sim.NewKernel()
+	m := newToy(k, 2, 4, 100000)
+	seedToy(k, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(k, m).RunCtx(ctx, 0); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}

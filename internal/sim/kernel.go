@@ -73,7 +73,7 @@ type Event struct {
 	op      uint8
 
 	dead   bool // cancelled; skipped and recycled at pop time
-	queued bool // currently in a bucket or the far heap
+	queued bool // allocated and not yet executed/recycled: still cancellable
 }
 
 const (
@@ -230,7 +230,12 @@ func (k *Kernel) enqueue(e *Event) {
 }
 
 // recycle returns a popped event to the pool, dropping its references.
+// Clearing queued here — not at pop time — keeps drained-but-unexecuted
+// events cancellable: the sharded executor pops a whole cycle up front,
+// and a same-cycle cancel from an earlier-seq event must still land
+// (serially the target would still be in the calendar at that point).
 func (k *Kernel) recycle(e *Event) {
+	e.queued = false
 	e.fn = nil
 	e.act = nil
 	e.p = nil
@@ -370,7 +375,6 @@ func (k *Kernel) popPeeked(e *Event) {
 		}
 		k.nring--
 	}
-	e.queued = false
 	k.npend--
 }
 

@@ -1,0 +1,274 @@
+// Sharded-execution support: the kernel-side half of the barrier-
+// synchronized parallel executor (internal/shard).
+//
+// The executor runs one simulation on several cores while keeping the
+// executed event sequence bit-identical to a serial run. The contract
+// that makes this possible is split between this file and the model
+// (internal/network):
+//
+//   - DrainCycle pops every event of the earliest timestamp in (time,
+//     seq) order — exactly the set and order a serial Run would execute
+//     before the clock next advances.
+//   - Each shard executes its slice of the cycle through a Stage, which
+//     records schedule calls (AtAct/AfterAct) in program order WITHOUT
+//     assigning sequence numbers, and pools events privately so the
+//     parallel phase never touches the kernel's free list.
+//   - After the barrier, the coordinator replays the staged schedule
+//     calls in global (executing-event seq, program order) order through
+//     InjectStaged, which assigns k.seq exactly as the serial kernel
+//     would have: serial seq assignment is a pure function of execution
+//     order and per-callback program order, both of which the replay
+//     reproduces.
+//
+// Within one callback the serial kernel interleaves schedule calls with
+// model side effects; the replay performs all of an event's schedule
+// calls as a block instead. The interleaving is unobservable: sequence
+// numbers are never exposed to model code, and side effects (counters,
+// observer callbacks) are themselves replayed in the same per-event
+// order by the network's effect log.
+package sim
+
+// Sharded is implemented by actors whose typed events can be assigned to
+// a shard: the returned index must identify the single shard whose state
+// the event's callback touches. Events whose actor is not Sharded (and
+// all closure events) force the executor to fall back to serial
+// execution for their cycle.
+type Sharded interface {
+	Actor
+	ShardOf(op uint8, a, b, c int32, p any) int
+}
+
+// At returns the event's scheduled time. Valid between DrainCycle and
+// the event's recycling.
+func (e *Event) At() Time { return e.at }
+
+// Seq returns the event's sequence number (the FIFO tie-break rank).
+func (e *Event) Seq() uint64 { return e.seq }
+
+// Dead reports whether the event was cancelled.
+func (e *Event) Dead() bool { return e.dead }
+
+// Shard returns the shard index of a drained event, or ok=false when the
+// event cannot be assigned to a shard (closure events, or an actor that
+// does not implement Sharded) and the cycle must execute serially.
+func (e *Event) Shard() (int, bool) {
+	if e.fn != nil || e.act == nil {
+		return 0, false
+	}
+	s, ok := e.act.(Sharded)
+	if !ok {
+		return 0, false
+	}
+	return s.ShardOf(e.op, e.a, e.b, e.c, e.p), true
+}
+
+// PeekTime returns the timestamp of the earliest queued event. ok=false
+// means the queue is empty. Like Run's peek, it slides the calendar
+// window so the subsequent DrainCycle pops in O(1).
+func (k *Kernel) PeekTime() (Time, bool) {
+	e := k.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// DrainCycle removes and returns every event queued for the earliest
+// timestamp, in seq order (dead events included — the caller recycles
+// them), advancing the clock to that timestamp. It reuses buf's backing
+// array. An empty queue returns (0, buf[:0]).
+func (k *Kernel) DrainCycle(buf []*Event) (Time, []*Event) {
+	buf = buf[:0]
+	e := k.peek()
+	if e == nil {
+		return 0, buf
+	}
+	t := e.at
+	k.now = t
+	for {
+		k.popPeeked(e)
+		buf = append(buf, e)
+		e = k.peek()
+		if e == nil || e.at != t {
+			break
+		}
+	}
+	return t, buf
+}
+
+// SetNow forces the clock, mirroring Run's until-boundary behaviour
+// (k.now = until), including the historical quirk that the boundary can
+// rewind the clock below an already-executed event's time.
+func (k *Kernel) SetNow(t Time) { k.now = t }
+
+// ClearHalt resets the halt flag at the start of a run, as Run/RunCtx do.
+func (k *Kernel) ClearHalt() { k.halted = false }
+
+// AddExecuted credits n executed events to the kernel's counter on
+// behalf of the sharded executor (shards run callbacks off-kernel; the
+// merge accounts for them).
+func (k *Kernel) AddExecuted(n uint64) { k.nexec += n }
+
+// ExecDrained runs one event handed out by DrainCycle exactly as the
+// serial loop would: dead events are recycled silently, live ones
+// advance the clock, count, trace, and run. The executor uses it for
+// cycles that cannot be sharded.
+func (k *Kernel) ExecDrained(e *Event) {
+	if e.dead {
+		k.recycle(e)
+		return
+	}
+	k.exec(e)
+}
+
+// InjectStaged moves a Stage-created event into the calendar, assigning
+// the next kernel sequence number. Called by the coordinator during the
+// merge, in the exact order the serial kernel would have assigned
+// sequence numbers; staged events that were cancelled in the meantime
+// are enqueued dead — they consume a seq, as the serial schedule did.
+func (k *Kernel) InjectStaged(e *Event) {
+	e.seq = k.seq
+	k.seq++
+	k.npend++
+	k.enqueue(e)
+}
+
+// Stage is one shard's private scheduling context during the parallel
+// phase of a cycle: it collects the shard's schedule calls in program
+// order and owns a private event pool, so shards share no mutable kernel
+// state. Create one per shard with NewStage; the coordinator sets the
+// clock with StartCycle before each parallel phase.
+type Stage struct {
+	now  Time
+	free []*Event
+	ops  []*Event // staged schedule calls, program order
+}
+
+// NewStage returns an empty stage pre-stocked with one event chunk.
+func NewStage() *Stage {
+	st := &Stage{free: make([]*Event, 0, eventChunk)}
+	st.refill()
+	return st
+}
+
+// refill stocks the stage's free list with a fresh chunk. Steady state
+// never refills: the merge refunds drained event structs to the stages,
+// so structs circulate calendar -> drain -> stage pool -> calendar.
+func (st *Stage) refill() {
+	//hxlint:allow allocfree — chunked pool refill, identical to the kernel's: one slab per eventChunk events, amortizing to zero once drained-event refunds balance staging
+	chunk := make([]Event, eventChunk)
+	for i := range chunk {
+		//hxlint:allow allocfree — the free list grows once, to the refill slab's size, then recycles in place
+		st.free = append(st.free, &chunk[i])
+	}
+}
+
+// StartCycle pins the stage's clock to the cycle being executed.
+func (st *Stage) StartCycle(now Time) { st.now = now }
+
+// Now returns the stage's pinned cycle time.
+func (st *Stage) Now() Time { return st.now }
+
+// alloc takes an event from the stage pool and stamps its time. The seq
+// stays unassigned (zero) until the merge injects the event.
+func (st *Stage) alloc(t Time) *Event {
+	if t < st.now {
+		panic("sim: event scheduled in the past")
+	}
+	n := len(st.free)
+	if n == 0 {
+		st.refill()
+		n = len(st.free)
+	}
+	e := st.free[n-1]
+	st.free = st.free[:n-1]
+	e.at = t
+	e.seq = 0
+	e.dead = false
+	// queued=true from the moment of staging so Kernel.Cancel works on a
+	// staged handle exactly as on an enqueued one (same-cycle cancels of
+	// reroute timers are same-shard and therefore race-free).
+	e.queued = true
+	return e
+}
+
+// AtAct stages a typed event for absolute time t and returns its handle,
+// which supports Kernel.Cancel like a directly scheduled event.
+func (st *Stage) AtAct(t Time, act Actor, op uint8, a, b, c int32, p any) *Event {
+	e := st.alloc(t)
+	e.act = act
+	e.op = op
+	e.a, e.b, e.c = a, b, c
+	e.p = p
+	//hxlint:allow allocfree — the staged-ops list grows to the shard's per-cycle high-water schedule count and is reset (not reallocated) every merge
+	st.ops = append(st.ops, e)
+	return e
+}
+
+// AfterAct stages a typed event d cycles from the stage's cycle time.
+func (st *Stage) AfterAct(d Time, act Actor, op uint8, a, b, c int32, p any) *Event {
+	return st.AtAct(st.now+d, act, op, a, b, c, p)
+}
+
+// Exec recycles a drained live event into the stage pool and runs its
+// callback — the parallel-phase mirror of the kernel's exec (recycle
+// first, so the callback reschedules from a warm pool). Clock advance,
+// counting, and tracing are the merge's job.
+func (st *Stage) Exec(e *Event) {
+	if fn := e.fn; fn != nil {
+		st.Recycle(e)
+		fn()
+		return
+	}
+	act, op, a, b, c, p := e.act, e.op, e.a, e.b, e.c, e.p
+	st.Recycle(e)
+	act.Act(op, a, b, c, p)
+}
+
+// Recycle returns a drained event struct to the stage pool (dead events
+// skip Exec and land here directly). Clears queued, mirroring the
+// kernel's recycle: from here the struct is no longer cancellable.
+func (st *Stage) Recycle(e *Event) {
+	e.queued = false
+	e.fn = nil
+	e.act = nil
+	e.p = nil
+	//hxlint:allow allocfree — returns capacity the pool already handed out; never exceeds the refill high-water mark
+	st.free = append(st.free, e)
+}
+
+// StagedLen returns how many schedule calls have been staged this cycle;
+// the shard records it per executed event to delimit each event's ops.
+func (st *Stage) StagedLen() int { return len(st.ops) }
+
+// ReplayOps injects staged ops [i, j) into the kernel in program order,
+// assigning their sequence numbers. Coordinator-only.
+func (st *Stage) ReplayOps(k *Kernel, i, j int) {
+	for _, e := range st.ops[i:j] {
+		k.InjectStaged(e)
+	}
+}
+
+// ResetOps clears the staged-ops list after a merge. The events now live
+// in the kernel calendar; the backing array is reused next cycle.
+func (st *Stage) ResetOps() { st.ops = st.ops[:0] }
+
+// PoolLen returns the stage's free-list depth (for the coordinator's
+// pool rebalancing: traffic that systematically crosses shards would
+// otherwise drain one stage's pool while growing another's forever).
+func (st *Stage) PoolLen() int { return len(st.free) }
+
+// MoveFree transfers up to n pooled event structs from st to dst.
+// Coordinator-only, between parallel phases.
+func (st *Stage) MoveFree(dst *Stage, n int) {
+	if n > len(st.free) {
+		n = len(st.free)
+	}
+	cut := len(st.free) - n
+	//hxlint:allow allocfree — rebalancing moves existing pooled structs between stages; capacity growth is bounded by the donor's high-water mark
+	dst.free = append(dst.free, st.free[cut:]...)
+	for i := cut; i < len(st.free); i++ {
+		st.free[i] = nil
+	}
+	st.free = st.free[:cut]
+}

@@ -105,7 +105,18 @@ func (g *Generator) Act(_ uint8, a, _, _ int32, _ any) {
 }
 
 func (g *Generator) scheduleNext(t int, gap sim.Time) {
+	if sc := g.Net.TerminalShard(t); sc != nil {
+		sc.Stage.AfterAct(gap, g, 0, int32(t), 0, 0, nil)
+		return
+	}
 	g.Net.K.AfterAct(gap, g, 0, int32(t), 0, 0, nil)
+}
+
+// ShardOf implements sim.Sharded: an injection event touches terminal a's
+// source queue and its router's shard-staged state, plus the generator's
+// own per-terminal stream — all owned by the terminal's router's shard.
+func (g *Generator) ShardOf(_ uint8, a, _, _ int32, _ any) int {
+	return g.Net.ShardOfTerminal(int(a))
 }
 
 func (g *Generator) inject(t int) {
@@ -115,16 +126,25 @@ func (g *Generator) inject(t int) {
 	rs := &g.streams[t]
 	size := g.Sizes.Draw(rs)
 	dst := g.Pattern.Dest(t, rs)
+	sc := g.Net.TerminalShard(t) // non-nil only during a sharded parallel phase
 	if dst == t {
 		// A deterministic permutation pattern can map a degenerate source
 		// onto itself; redirect to the next terminal and count it rather
 		// than silently rewriting the traffic matrix.
-		g.SelfRedirects++
+		if sc != nil {
+			sc.StageCount(&g.SelfRedirects)
+		} else {
+			g.SelfRedirects++
+		}
 		dst = (t + 1) % len(g.Net.Terminals)
 	}
 	p := g.Net.NewPacket(t, dst, size)
 	if g.OnBirth != nil {
-		g.OnBirth(t, dst, size, g.Net.K.Now())
+		if sc != nil {
+			sc.StageBirth(g.OnBirth, t, dst, size)
+		} else {
+			g.OnBirth(t, dst, size, g.Net.K.Now())
+		}
 	}
 	g.Net.Terminals[t].Send(p)
 	// Mean gap of size/Load cycles keeps the long-run flit rate at Load.

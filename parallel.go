@@ -328,9 +328,17 @@ type ThroughputGrid struct {
 // every pattern × algorithm cell on a bounded worker pool. Each cell is
 // an independent simulation seeded exactly as RunThroughput seeds it, so
 // every Values entry is bit-identical to the corresponding serial call,
-// at any worker count.
+// at any worker count. SweepOpts.CheckpointDir persists and serves cells
+// exactly like the load-sweep paths. A cell that did not complete is an
+// error naming the cell — never a silent 0.0, which would be
+// indistinguishable from a measured zero throughput.
 func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string, opts RunOpts, po SweepOpts) (*ThroughputGrid, *Manifest, error) {
 	cfg = cfg.withDefaults()
+	store, err := openSweepStore(po)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyOpts := opts.withDefaults()
 	jobs := make([]harness.Job, 0, len(patterns)*len(algs))
 	for pi, pat := range patterns {
 		for ai, alg := range algs {
@@ -342,9 +350,30 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 				Label: fmt.Sprintf("%s/%s@1.000", pat, alg),
 				Seed:  ccfg.Seed,
 				Run: func(jctx context.Context) (harness.Outcome, error) {
+					key := thptKey(ccfg, pat, keyOpts)
+					if store != nil {
+						var rec thptRecord
+						if ok, err := store.Load(key, &rec); err != nil {
+							return harness.Outcome{}, err
+						} else if ok {
+							return harness.Outcome{
+								Cached:    true,
+								Cycles:    rec.Stats.Cycles,
+								Events:    rec.Stats.Events,
+								Delivered: rec.Stats.Delivered,
+								Dropped:   rec.Stats.Dropped,
+								Value:     rec.Value,
+							}, nil
+						}
+					}
 					th, st, err := runThroughputCtx(jctx, ccfg, pat, opts)
 					if err != nil {
 						return harness.Outcome{}, err
+					}
+					if store != nil {
+						if err := store.Save(key, thptRecord{Value: th, Stats: st}); err != nil {
+							return harness.Outcome{}, err
+						}
 					}
 					return harness.Outcome{
 						Cycles:    st.Cycles,
@@ -361,6 +390,7 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
 	if rr != nil {
 		stampFaults(cfg, rr.Manifest)
+		stampProvenance(rr.Manifest, "cold", cfg, nil, store, rr)
 	}
 	if err != nil {
 		var m *Manifest
@@ -370,6 +400,18 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 		return nil, m, err
 	}
 
+	grid, err := assembleGrid(rr, patterns, algs)
+	if err != nil {
+		return nil, rr.Manifest, err
+	}
+	return grid, rr.Manifest, nil
+}
+
+// assembleGrid reassembles completed harness jobs into the throughput
+// grid. A cell that did not complete is an error naming the cell — never
+// a silently skipped Values entry left at 0.0, which a reader could not
+// distinguish from a measured zero throughput.
+func assembleGrid(rr *harness.RunResult, patterns, algs []string) (*ThroughputGrid, error) {
 	grid := &ThroughputGrid{
 		Patterns:   append([]string(nil), patterns...),
 		Algorithms: append([]string(nil), algs...),
@@ -379,13 +421,13 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 		grid.Values[pi] = make([]float64, len(algs))
 	}
 	for _, jr := range rr.Jobs {
-		if !jr.Done {
-			continue
-		}
 		pi, ai := jr.Job.Curve/len(algs), jr.Job.Curve%len(algs)
+		if !jr.Done {
+			return nil, fmt.Errorf("hyperx: throughput grid: cell %s/%s did not complete", patterns[pi], algs[ai])
+		}
 		grid.Values[pi][ai] = jr.Outcome.Value.(float64)
 	}
-	return grid, rr.Manifest, nil
+	return grid, nil
 }
 
 // ResiliencePoint is one cell of the resilience experiment: one routing
@@ -419,9 +461,18 @@ func (p ResiliencePoint) DeliveredFrac() float64 {
 // to run. Each cell is an independent simulation — results are
 // bit-identical at any worker count — and cells never early-stop: a
 // saturated or lossy cell is itself the measurement. Points are returned
-// grouped by algorithm in input order, ascending k.
+// grouped by algorithm in input order, ascending k; a cell that did not
+// complete is an error naming the cell, never a silently absent point.
+// SweepOpts.CheckpointDir persists and serves cells exactly like the
+// load-sweep paths (a resilience cell shares its key — and so its cache
+// entry — with the identical cold-sweep load point, because both run the
+// same simulation).
 func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, algs []string, maxFaults int, load float64, opts RunOpts, po SweepOpts) ([]ResiliencePoint, *Manifest, error) {
 	cfg = cfg.withDefaults()
+	store, err := openSweepStore(po)
+	if err != nil {
+		return nil, nil, err
+	}
 	// Resolve every fault set up front: the lists go into the points (and
 	// errors surface before any simulation time is spent).
 	faultSets := make([][]string, maxFaults+1)
@@ -435,6 +486,7 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 		faultSets[k] = fs.Strings()
 	}
 
+	keyOpts := opts.withDefaults()
 	jobs := make([]harness.Job, 0, len(algs)*(maxFaults+1))
 	for ai, alg := range algs {
 		for k := 0; k <= maxFaults; k++ {
@@ -447,9 +499,33 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 				Label: fmt.Sprintf("%s/%s@%.2f k=%d", patternName, alg, load, k),
 				Seed:  ccfg.Seed,
 				Run: func(jctx context.Context) (harness.Outcome, error) {
+					// ccfg.Faults is inside configKey, so this is the same key
+					// the cold sweep would use for the identical simulation.
+					key := pointKey(ccfg, patternName, load, keyOpts)
+					if store != nil {
+						var rec pointRecord
+						if ok, err := store.Load(key, &rec); err != nil {
+							return harness.Outcome{}, err
+						} else if ok {
+							return harness.Outcome{
+								Saturated: rec.Point.Saturated,
+								Cached:    true,
+								Cycles:    rec.Stats.Cycles,
+								Events:    rec.Stats.Events,
+								Delivered: rec.Stats.Delivered,
+								Dropped:   rec.Stats.Dropped,
+								Value:     rec.Point,
+							}, nil
+						}
+					}
 					pt, st, err := runLoadPointCtx(jctx, ccfg, patternName, load, opts)
 					if err != nil {
 						return harness.Outcome{}, err
+					}
+					if store != nil {
+						if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
+							return harness.Outcome{}, err
+						}
 					}
 					return harness.Outcome{
 						Saturated: pt.Saturated,
@@ -465,6 +541,15 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 	}
 
 	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	if rr != nil {
+		// The manifest records the largest injected fault set: stamp it
+		// through the same helper every other sweep uses (deterministic in
+		// (Widths, Faults, FaultSeed), so it reproduces faultSets[maxFaults]).
+		fcfg := cfg
+		fcfg.Faults = maxFaults
+		stampFaults(fcfg, rr.Manifest)
+		stampProvenance(rr.Manifest, "cold", cfg, nil, store, rr)
+	}
 	if err != nil {
 		var m *Manifest
 		if rr != nil {
@@ -472,12 +557,21 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 		}
 		return nil, m, err
 	}
-	if maxFaults > 0 {
-		rr.Manifest.Faults = faultSets[maxFaults]
-	}
 
-	points := make([]ResiliencePoint, 0, len(jobs))
-	byCell := make(map[[2]int]harness.JobResult, len(jobs))
+	points, err := assembleResilience(rr, algs, maxFaults, faultSets)
+	if err != nil {
+		return points, rr.Manifest, err
+	}
+	return points, rr.Manifest, nil
+}
+
+// assembleResilience reassembles completed harness jobs into resilience
+// points, grouped by algorithm in input order with ascending k. A cell
+// that did not complete is an error naming the cell — never a silently
+// absent point, which would quietly shorten a degradation curve.
+func assembleResilience(rr *harness.RunResult, algs []string, maxFaults int, faultSets [][]string) ([]ResiliencePoint, error) {
+	points := make([]ResiliencePoint, 0, len(algs)*(maxFaults+1))
+	byCell := make(map[[2]int]harness.JobResult, len(rr.Jobs))
 	for _, jr := range rr.Jobs {
 		byCell[[2]int{jr.Job.Curve, jr.Job.Point}] = jr
 	}
@@ -485,7 +579,7 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 		for k := 0; k <= maxFaults; k++ {
 			jr, ok := byCell[[2]int{ai, k}]
 			if !ok || !jr.Done {
-				continue
+				return points, fmt.Errorf("hyperx: resilience sweep: cell %s k=%d did not complete", alg, k)
 			}
 			points = append(points, ResiliencePoint{
 				Algorithm: alg,
@@ -495,5 +589,5 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 			})
 		}
 	}
-	return points, rr.Manifest, nil
+	return points, nil
 }

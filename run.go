@@ -26,6 +26,15 @@ type RunOpts struct {
 	LatencyCap float64 // mean latency declaring saturation outright (default 20000)
 	MinFlits   int     // smallest generated packet (default 1)
 	MaxFlits   int     // largest generated packet (default 16)
+
+	// Shards runs each simulation on Shards cores via the deterministic
+	// barrier-synchronized executor (internal/shard); 0 or 1 is serial.
+	// The executed event sequence — and every result — is bit-identical
+	// across shard counts, so Shards is deliberately excluded from the
+	// checkpoint key (checkpoint.go optsKey): a cache written serially is
+	// served to sharded runs and vice versa. Counts above the router
+	// count are clamped.
+	Shards int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -135,14 +144,14 @@ func runPointOn(ctx context.Context, inst *Instance, gen *traffic.Generator, loa
 			Dropped:   inst.Net.DroppedPackets,
 		}
 	}
-	if _, err := inst.K.RunCtx(ctx, end); err != nil {
+	if _, err := inst.runCtx(ctx, end, opts.Shards); err != nil {
 		return LoadPoint{}, kstats(), err
 	}
 	// Drain: injection continues (realistic back-pressure on the measured
 	// tail) until every measured packet is delivered or the cap is hit.
 	deadline := end + sim.Time(opts.DrainCap)
 	for !col.Done() && inst.K.Now() < deadline {
-		if _, err := inst.K.RunCtx(ctx, inst.K.Now()+2000); err != nil {
+		if _, err := inst.runCtx(ctx, inst.K.Now()+2000, opts.Shards); err != nil {
 			return LoadPoint{}, kstats(), err
 		}
 	}
@@ -246,7 +255,7 @@ func runThroughputCtx(ctx context.Context, cfg Config, patternName string, opts 
 			Dropped:   inst.Net.DroppedPackets,
 		}
 	}
-	if _, err := inst.K.RunCtx(ctx, end); err != nil {
+	if _, err := inst.runCtx(ctx, end, opts.Shards); err != nil {
 		return 0, kstats(), err
 	}
 	gen.Stop()

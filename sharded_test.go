@@ -1,0 +1,433 @@
+package hyperx
+
+// Sharded-execution determinism suite. The contract under test is
+// absolute: a run at any shard count executes the bit-identical event
+// sequence — and lands in the bit-identical end state — as the serial
+// kernel loop, across network shapes, routing algorithms, faulted
+// configurations, and composition with warm-state snapshot/restore. The
+// same property makes RunOpts.Shards invisible to the checkpoint key,
+// which the cross-mode cache test pins. Run under `-race` (make race)
+// this suite doubles as the data-race check of the parallel phase.
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyperx/internal/harness"
+	"hyperx/internal/sim"
+	"hyperx/internal/traffic"
+)
+
+// simFingerprint condenses a run into the executed (time, seq) stream
+// hash plus the end-state counters — the same fold as the golden trace.
+type simFingerprint struct {
+	Hash   uint64
+	Events uint64
+	Now    sim.Time
+}
+
+// foldCounters folds the instance's end-state counters into h, mirroring
+// runTraced so any bookkeeping divergence is caught even when the event
+// order matches.
+func foldCounters(h interface{ Write([]byte) (int, error) }, inst *Instance) {
+	var buf [8]byte
+	fold := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, ls := range inst.Net.LinkUtilization() {
+		fold(uint64(ls.Router))
+		fold(uint64(ls.Port))
+		fold(ls.Grants)
+		fold(math.Float64bits(ls.Utilization))
+	}
+	fold(inst.Net.InjectedPackets)
+	fold(inst.Net.InjectedFlits)
+	fold(inst.Net.DeliveredPackets)
+	fold(inst.Net.DeliveredFlits)
+	fold(inst.Net.DroppedPackets)
+	fold(uint64(inst.K.Now()))
+	fold(inst.K.Executed())
+}
+
+// fingerprintRun builds cfg, drives UR traffic at 0.6 load for until
+// cycles through the serial kernel (shards <= 1) or the sharded executor,
+// and returns the run's fingerprint.
+func fingerprintRun(t *testing.T, cfg Config, shards int, until sim.Time) simFingerprint {
+	t.Helper()
+	inst, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	inst.K.TraceExec = func(at sim.Time, seq uint64) {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(at))
+		binary.LittleEndian.PutUint64(buf[8:16], seq)
+		h.Write(buf[:])
+	}
+	pat, err := NewPattern("UR", inst.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &traffic.Generator{Net: inst.Net, Pattern: pat, Sizes: traffic.UniformSize{Min: 1, Max: 16}, Load: 0.6}
+	gen.Start(inst.Cfg.Seed)
+	if _, err := inst.runCtx(context.Background(), until, shards); err != nil {
+		t.Fatal(err)
+	}
+	foldCounters(h, inst)
+	return simFingerprint{Hash: h.Sum64(), Events: inst.K.Executed(), Now: inst.K.Now()}
+}
+
+// TestShardedMatchesSerialShapes: bit-identical execution across shard
+// counts on shapes from 4 routers (every count clamps or divides
+// unevenly) through 16 (even contiguous blocks), and across the
+// algorithm families: dimension-ordered, the two incremental adaptive
+// algorithms, and the RNG-drawing baselines (VAL redraws its
+// intermediate on every Route call, UGAL draws tie-breaks), whose
+// per-router streams make any spuriously executed event visible.
+func TestShardedMatchesSerialShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		widths []int
+		alg    string
+	}{
+		{"2x2-DimWAR", []int{2, 2}, "DimWAR"},
+		{"2x2x2-OmniWAR", []int{2, 2, 2}, "OmniWAR"},
+		{"4x4-DOR", []int{4, 4}, "DOR"},
+		{"4x4-DimWAR", []int{4, 4}, "DimWAR"},
+		{"4x4-VAL", []int{4, 4}, "VAL"},
+		{"4x4-UGAL", []int{4, 4}, "UGAL"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Config{Widths: c.widths, Terms: 2, Algorithm: c.alg, Seed: 7}
+			want := fingerprintRun(t, cfg, 1, 2500)
+			for _, nsh := range []int{2, 3, 4, 8} {
+				if got := fingerprintRun(t, cfg, nsh, 2500); got != want {
+					t.Errorf("shards=%d diverged from serial: got %+v, want %+v", nsh, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSameCycleCancelVAL pins a regression: a reroute timer
+// cancelled by an earlier-seq event of its own cycle still fired under
+// sharding, because DrainCycle pops the whole cycle up front and
+// Kernel.Cancel used to no-op on any already-popped (queued=false)
+// event — serially the target would still be in the calendar when the
+// canceller runs. VAL makes the bug observable: every Route call on an
+// unrouted packet redraws the intermediate from the per-router RNG
+// stream, so one spuriously executed reroute shifts every later draw
+// on that router. Paper-scale VAL at this seed hits the
+// grant-vs-timer same-cycle coincidence within 4000 cycles.
+func TestShardedSameCycleCancelVAL(t *testing.T) {
+	cfg := DefaultScale()
+	cfg.Algorithm = "VAL"
+	cfg.Seed = 1
+	want := fingerprintRun(t, cfg, 1, 4000)
+	for _, nsh := range []int{2, 4} {
+		if got := fingerprintRun(t, cfg, nsh, 4000); got != want {
+			t.Errorf("shards=%d diverged from serial: got %+v, want %+v", nsh, got, want)
+		}
+	}
+}
+
+// TestShardedMatchesSerialFaulted: the detect-and-drop path (fxDrop
+// staging, loss counters) and fault-aware rerouting stay bit-identical
+// under sharding.
+func TestShardedMatchesSerialFaulted(t *testing.T) {
+	for _, alg := range []string{"DOR", "DimWAR"} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			cfg := Config{Widths: []int{4, 4}, Terms: 2, Algorithm: alg, Seed: 3, Faults: 4}
+			want := fingerprintRun(t, cfg, 1, 2500)
+			if got := fingerprintRun(t, cfg, 4, 2500); got != want {
+				t.Errorf("faulted sharded run diverged from serial: got %+v, want %+v", got, want)
+			}
+			if want.Hash == fingerprintRun(t, Config{Widths: []int{4, 4}, Terms: 2, Algorithm: alg, Seed: 3}, 1, 2500).Hash {
+				t.Error("faulted and pristine runs share a fingerprint; the fixture exercises no fault path")
+			}
+		})
+	}
+}
+
+// TestShardedSnapshotRestoreResume: snapshot/restore composes with
+// sharded execution — a warm snapshot resumed through the sharded
+// executor is bit-identical to the same snapshot resumed serially.
+func TestShardedSnapshotRestoreResume(t *testing.T) {
+	cfg := Config{Widths: []int{2, 2, 2}, Terms: 2, Algorithm: "DimWAR", Seed: 5}
+	inst := MustBuild(cfg)
+	pat, err := NewPattern("UR", inst.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &traffic.Generator{Net: inst.Net, Pattern: pat, Sizes: traffic.UniformSize{Min: 1, Max: 16}, Load: 0.6}
+	gen.Start(inst.Cfg.Seed)
+	inst.K.Run(1200)
+	snap, err := inst.Snapshot(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := func(shards int) simFingerprint {
+		if err := inst.Restore(snap, gen); err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		var buf [16]byte
+		inst.K.TraceExec = func(at sim.Time, seq uint64) {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(at))
+			binary.LittleEndian.PutUint64(buf[8:16], seq)
+			h.Write(buf[:])
+		}
+		if _, err := inst.runCtx(context.Background(), 3600, shards); err != nil {
+			t.Fatal(err)
+		}
+		inst.K.TraceExec = nil
+		foldCounters(h, inst)
+		return simFingerprint{Hash: h.Sum64(), Events: inst.K.Executed(), Now: inst.K.Now()}
+	}
+
+	want := resume(1)
+	for _, nsh := range []int{2, 4} {
+		if got := resume(nsh); got != want {
+			t.Errorf("restore-then-resume at shards=%d diverged from serial resume: got %+v, want %+v", nsh, got, want)
+		}
+	}
+	// And back to serial after sharded runs: the executor must leave no
+	// residual mode or pool state that perturbs a later serial resume.
+	if got := resume(1); got != want {
+		t.Errorf("serial resume after sharded runs diverged: got %+v, want %+v", got, want)
+	}
+}
+
+// TestShardedSteadyStateZeroAlloc: once pools and staging slabs are warm,
+// sharded execution must not allocate per event — allocations per
+// executor invocation are a small constant (worker goroutines, the work
+// channel), independent of how many cycles the invocation simulates.
+func TestShardedSteadyStateZeroAlloc(t *testing.T) {
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Algorithm: "DimWAR", Seed: 1}
+	inst := MustBuild(cfg)
+	pat, err := NewPattern("UR", inst.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &traffic.Generator{Net: inst.Net, Pattern: pat, Sizes: traffic.UniformSize{Min: 1, Max: 16}, Load: 0.6}
+	gen.Start(inst.Cfg.Seed)
+	// Warm pools, queue capacities, and shard staging slabs to their
+	// high-water marks through the sharded path itself.
+	if _, err := inst.runCtx(context.Background(), 100000, 4); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(cycles sim.Time) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := inst.runCtx(context.Background(), inst.K.Now()+cycles, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(200), measure(2000)
+	// 10x the simulated work must not change the per-invocation alloc
+	// count: every allocation belongs to executor setup, none to events.
+	if long > short+1 {
+		t.Errorf("sharded execution allocates per event: %.1f allocs for 200-cycle runs vs %.1f for 2000-cycle runs", short, long)
+	}
+	if short > 32 {
+		t.Errorf("sharded executor setup allocates %.1f objects per invocation, want a small constant (<= 32)", short)
+	}
+}
+
+// TestShardsExcludedFromCheckpointKey: the cross-mode cache contract. A
+// checkpoint store populated by a serial sweep must serve a sharded rerun
+// entirely from cache (and return identical curves) — possible only
+// because results are bit-identical across shard counts and optsKey
+// deliberately omits Shards.
+func TestShardsExcludedFromCheckpointKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Seed: 1}
+	opts := RunOpts{Warmup: 1000, Window: 1000}
+	loads := []float64{0.2, 0.4}
+	dir := t.TempDir()
+
+	serial, _, err := RunLoadSweepParallel(context.Background(), cfg,
+		[]string{"UR"}, []string{"DimWAR"}, loads, opts, SweepOpts{Workers: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shOpts := opts
+	shOpts.Shards = 4
+	sharded, mani, err := RunLoadSweepParallel(context.Background(), cfg,
+		[]string{"UR"}, []string{"DimWAR"}, loads, shOpts, SweepOpts{Workers: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded, serial) {
+		t.Errorf("sharded rerun diverged from serial-written cache:\ngot:  %+v\nwant: %+v", sharded, serial)
+	}
+	if mani.Provenance == nil || mani.Provenance.CachedJobs == 0 {
+		t.Errorf("sharded rerun recomputed despite a serial-written cache (provenance %+v); Shards leaked into the checkpoint key", mani.Provenance)
+	}
+}
+
+// TestShardedSweepMatchesSerialSweep: the end-to-end facade claim — a
+// full measured load point (latency percentiles, accepted throughput,
+// saturation flag, stats counters) is identical with and without shards.
+func TestShardedSweepMatchesSerialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := Config{Widths: []int{2, 2, 2}, Terms: 2, Algorithm: "DimWAR", Seed: 1}
+	opts := RunOpts{Warmup: 1500, Window: 1500}
+	want, wantSt, err := runLoadPointCtx(context.Background(), cfg, "UR", 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shOpts := opts
+	shOpts.Shards = 4
+	got, gotSt, err := runLoadPointCtx(context.Background(), cfg, "UR", 0.5, shOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || gotSt != wantSt {
+		t.Errorf("sharded load point diverged from serial:\ngot:  %+v / %+v\nwant: %+v / %+v", got, gotSt, want, wantSt)
+	}
+}
+
+// TestThroughputGridCheckpointResume: regression for the grid silently
+// ignoring SweepOpts.CheckpointDir — the first run persists every cell,
+// the rerun serves all of them from cache with identical values and a
+// provenance block recording the store.
+func TestThroughputGridCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Seed: 1}
+	opts := RunOpts{Warmup: 800, Window: 800}
+	patterns, algs := []string{"UR"}, []string{"DOR", "DimWAR"}
+	dir := t.TempDir()
+	run := func() (*ThroughputGrid, *Manifest) {
+		grid, mani, err := RunThroughputGrid(context.Background(), cfg, patterns, algs, opts,
+			SweepOpts{Workers: 2, CheckpointDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grid, mani
+	}
+	first, mani1 := run()
+	if mani1.Provenance == nil || mani1.Provenance.ResumedFrom != dir {
+		t.Errorf("first grid run provenance %+v, want store %q recorded", mani1.Provenance, dir)
+	}
+	if mani1.Provenance != nil && mani1.Provenance.CachedJobs != 0 {
+		t.Errorf("first grid run served %d cached jobs from an empty store", mani1.Provenance.CachedJobs)
+	}
+	second, mani2 := run()
+	if !reflect.DeepEqual(second, first) {
+		t.Errorf("cached grid diverged from the run that populated the store:\ngot:  %+v\nwant: %+v", second, first)
+	}
+	if mani2.Provenance == nil || mani2.Provenance.CachedJobs != len(patterns)*len(algs) {
+		t.Errorf("second grid run provenance %+v, want all %d cells cached", mani2.Provenance, len(patterns)*len(algs))
+	}
+}
+
+// TestResilienceSweepCheckpointResume: regression for the resilience
+// sweep silently ignoring SweepOpts.CheckpointDir and stamping its
+// manifest outside the shared helpers — the rerun is fully cached, and
+// both manifests carry the maxFaults fault list and a provenance block.
+func TestResilienceSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state simulations")
+	}
+	cfg := Config{Widths: []int{4, 4}, Terms: 2, Seed: 1}
+	opts := RunOpts{Warmup: 800, Window: 800}
+	algs := []string{"DOR", "DimWAR"}
+	const maxFaults = 2
+	dir := t.TempDir()
+	run := func() ([]ResiliencePoint, *Manifest) {
+		pts, mani, err := RunResilienceSweep(context.Background(), cfg, "UR", algs, maxFaults, 0.3, opts,
+			SweepOpts{Workers: 2, CheckpointDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts, mani
+	}
+	first, mani1 := run()
+	if len(first) != len(algs)*(maxFaults+1) {
+		t.Fatalf("resilience sweep returned %d points, want %d", len(first), len(algs)*(maxFaults+1))
+	}
+	if len(mani1.Faults) != maxFaults {
+		t.Errorf("first run manifest records %d faults, want the maxFaults=%d set", len(mani1.Faults), maxFaults)
+	}
+	second, mani2 := run()
+	if !reflect.DeepEqual(second, first) {
+		t.Error("cached resilience sweep diverged from the run that populated the store")
+	}
+	if mani2.Provenance == nil || mani2.Provenance.CachedJobs != len(algs)*(maxFaults+1) {
+		t.Errorf("second run provenance %+v, want all %d cells cached", mani2.Provenance, len(algs)*(maxFaults+1))
+	}
+	if len(mani2.Faults) != maxFaults {
+		t.Errorf("cached run manifest records %d faults, want %d; fault stamping must not depend on recomputation", len(mani2.Faults), maxFaults)
+	}
+}
+
+// TestGridIncompleteCellError: regression for a not-Done grid cell
+// silently surviving as Values[pi][ai] == 0.0 — assembly must fail
+// loudly, naming the cell.
+func TestGridIncompleteCellError(t *testing.T) {
+	rr := &harness.RunResult{Jobs: []harness.JobResult{
+		{Job: harness.Job{Curve: 0, Label: "UR/DOR@1.000"}, Done: true, Outcome: harness.Outcome{Value: 0.42}},
+		{Job: harness.Job{Curve: 1, Label: "UR/DimWAR@1.000"}, Done: false},
+	}}
+	grid, err := assembleGrid(rr, []string{"UR"}, []string{"DOR", "DimWAR"})
+	if err == nil {
+		t.Fatalf("incomplete cell assembled without error: %+v", grid)
+	}
+	if want := "UR/DimWAR"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the missing cell %q", err, want)
+	}
+	rr.Jobs[1].Done = true
+	rr.Jobs[1].Outcome = harness.Outcome{Value: 0.9}
+	grid, err = assembleGrid(rr, []string{"UR"}, []string{"DOR", "DimWAR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Values[0][0] != 0.42 || grid.Values[0][1] != 0.9 {
+		t.Errorf("assembled grid %+v, want [[0.42 0.9]]", grid.Values)
+	}
+}
+
+// TestResilienceIncompleteCellError: regression for a not-Done resilience
+// cell being silently skipped, quietly shortening a degradation curve.
+func TestResilienceIncompleteCellError(t *testing.T) {
+	pt := LoadPoint{Load: 0.3, Delivered: 10}
+	rr := &harness.RunResult{Jobs: []harness.JobResult{
+		{Job: harness.Job{Curve: 0, Point: 0}, Done: true, Outcome: harness.Outcome{Value: pt}},
+		{Job: harness.Job{Curve: 0, Point: 1}, Done: false},
+	}}
+	pts, err := assembleResilience(rr, []string{"DimWAR"}, 1, [][]string{nil, {"r0.p0<->r1.p0"}})
+	if err == nil {
+		t.Fatalf("incomplete cell assembled without error: %+v", pts)
+	}
+	if want := "DimWAR k=1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the missing cell %q", err, want)
+	}
+	rr.Jobs[1].Done = true
+	rr.Jobs[1].Outcome = harness.Outcome{Value: pt}
+	pts, err = assembleResilience(rr, []string{"DimWAR"}, 1, [][]string{nil, {"r0.p0<->r1.p0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].Faults != 1 || len(pts[1].FaultSet) != 1 {
+		t.Errorf("assembled points %+v, want two cells with the k=1 fault set attached", pts)
+	}
+}
