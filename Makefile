@@ -11,10 +11,14 @@ ci: vet lint build test race smoke faultsmoke ckptsmoke shardsmoke fuzzshort cov
 vet:
 	$(GO) vet ./...
 
-# Determinism-invariant static analysis (see internal/lint): nodeterm,
-# seedflow, maporder, and noconc over the simulation packages and the
-# CSV/manifest emission path, plus a gofmt cleanliness gate. Exits
-# nonzero on any finding.
+# Determinism-contract static analysis (see internal/lint): nodeterm,
+# seedflow, maporder, noconc, and allocfree over the simulation packages
+# and the CSV/manifest emission path, plus the interprocedural contract
+# passes — stagesafe (unstaged mutations reachable from Act/Execute
+# event entries) and statecover (Snapshot/Restore field coverage and
+# configKey/optsKey completeness) — and allowaudit, which fails the
+# build on stale or malformed //hxlint: directives. A gofmt cleanliness
+# gate rides along. Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/hxlint ./...
 	@unformatted=$$(gofmt -l .); \

@@ -1,25 +1,40 @@
 // Command hxlint enforces the simulator's determinism and performance
 // contracts: it walks the module and reports every nodeterm / seedflow /
-// maporder / noconc / allocfree violation (see internal/lint) as
-// "file:line: [pass] message", exiting nonzero if anything is found.
-// `make lint` runs it over the whole tree, and `make ci` gates on it, so a
-// wall-clock read, a global-RNG draw, an unsorted map iteration in an
-// output path, stray concurrency inside a simulation package, or an
-// unreasoned allocation on the steady-state data path fails the build
-// instead of silently skewing results.
+// maporder / noconc / allocfree / stagesafe / statecover / allowaudit
+// violation (see internal/lint) as "file:line: [pass] message", exiting
+// nonzero if anything is found. `make lint` runs it over the whole tree,
+// and `make ci` gates on it, so a wall-clock read, a global-RNG draw, an
+// unsorted map iteration in an output path, stray concurrency inside a
+// simulation package, an unreasoned allocation on the steady-state data
+// path, an unstaged shared-state mutation reachable from an event
+// handler, an uncovered snapshot or checkpoint-key field, or a stale
+// suppression directive fails the build instead of silently skewing
+// results.
 //
 // Usage:
 //
 //	hxlint ./...            # lint the whole module (the CI form)
 //	hxlint ./internal/sim   # restrict the report to one subtree
+//	hxlint -json ./...      # one JSON object per finding, suppressed included
+//
+// With -json, every finding — including those waived by allow directives —
+// is emitted as one JSON object per line with fields file, line, col,
+// pass, msg, and suppressed, so CI and editors can consume the report
+// without parsing the text format. The exit status still reflects only
+// live (unsuppressed) findings.
 //
 // Findings can be suppressed, with a mandatory reason, by an
 // //hxlint:allow directive on or directly above the offending line:
 //
 //	//hxlint:allow maporder — emission order is re-sorted by the caller
+//
+// statecover exclusions use the dedicated field-level grammars
+// //hxlint:state ephemeral — <reason> and //hxlint:key excluded — <reason>
+// (see internal/lint and docs/STATE.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +45,9 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON finding object per line (includes suppressed findings)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hxlint [./... | dir ...]")
+		fmt.Fprintln(os.Stderr, "usage: hxlint [-json] [./... | dir ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hxlint:", err)
 		os.Exit(2)
 	}
-	findings, err := lint.Run(root)
+	findings, err := lint.RunAll(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hxlint:", err)
 		os.Exit(2)
@@ -51,11 +67,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hxlint:", err)
 		os.Exit(2)
 	}
+	live := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
-		fmt.Println(f)
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hxlint:", err)
+				os.Exit(2)
+			}
+		} else if !f.Suppressed {
+			fmt.Println(f)
+		}
+		if !f.Suppressed {
+			live++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "hxlint: %d finding(s)\n", len(findings))
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "hxlint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
 }

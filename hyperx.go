@@ -117,16 +117,23 @@ func DefaultScale() Config {
 
 // Instance is a built simulation: kernel, network, topology, algorithm.
 type Instance struct {
-	Cfg    Config
-	K      *sim.Kernel
-	Topo   *topology.HyperX
-	Alg    route.Algorithm
-	Net    *network.Network
+	//hxlint:state ephemeral — identity, not state: a snapshot restores only into an instance built from the identical Config
+	Cfg Config
+	//hxlint:state ephemeral — kernel state rides inside the network snapshot (Net.Snapshot embeds the kernel's events and clock)
+	K *sim.Kernel
+	//hxlint:state ephemeral — immutable build-time wiring derived from Config
+	Topo *topology.HyperX
+	//hxlint:state ephemeral — immutable build-time wiring derived from Config
+	Alg route.Algorithm
+	Net *network.Network
+	//hxlint:state ephemeral — immutable build-time wiring derived from Config (FaultSeed)
 	Faults *topology.FaultSet // nil when Cfg.Faults == 0
 
 	// Cached sharded executor (lazily built on the first runCtx with
 	// Shards > 1; rebuilt if the shard count changes).
-	shx  *shard.Executor
+	//hxlint:state ephemeral — lazily rebuilt cache; shard machinery is empty between cycles and never snapshotted
+	shx *shard.Executor
+	//hxlint:state ephemeral — cache key for shx, rebuilt with it
 	shxN int
 }
 

@@ -2,79 +2,231 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
 // validPasses are the pass names an allow directive may reference.
+// allowaudit is deliberately absent: it audits the directives themselves,
+// so suppressing it would be circular.
 var validPasses = map[string]bool{
-	"nodeterm":  true,
-	"seedflow":  true,
-	"maporder":  true,
-	"noconc":    true,
-	"allocfree": true,
+	"nodeterm":   true,
+	"seedflow":   true,
+	"maporder":   true,
+	"noconc":     true,
+	"allocfree":  true,
+	"stagesafe":  true,
+	"statecover": true,
 }
 
-// allowIndex records, per pass, the lines carrying a valid allow
-// directive. A directive suppresses findings of its pass on its own line
-// (trailing form) and on the line immediately below it (standalone form).
-type allowIndex map[string]map[string]map[int]bool // pass -> file -> line
-
-func (a allowIndex) add(pass, file string, line int) {
-	if a[pass] == nil {
-		a[pass] = map[string]map[int]bool{}
+// validPassList renders the sorted pass list for the unknown-pass
+// diagnostic.
+func validPassList() string {
+	names := make([]string, 0, len(validPasses))
+	for n := range validPasses {
+		names = append(names, n)
 	}
-	if a[pass][file] == nil {
-		a[pass][file] = map[int]bool{}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// directiveRec is one valid directive occurrence. used feeds the
+// allowaudit pass: a directive that never suppresses a finding (allow) or
+// never excuses an uncovered field (state/key) has gone stale.
+type directiveRec struct {
+	pass string // allow: target pass; state/key: the directive kind
+	file string
+	line int
+	col  int
+	used bool
+}
+
+// directiveIndex collects every valid hxlint directive in the module:
+// allow suppressions (pass -> file -> line) plus the statecover exclusion
+// grammars //hxlint:state ephemeral and //hxlint:key excluded
+// (file -> line each). An allow directive covers findings on its own line
+// (trailing form) and on the line directly below it (standalone form);
+// state and key directives cover the field declaration the same way.
+type directiveIndex struct {
+	allows map[string]map[string]map[int]*directiveRec
+	state  map[string]map[int]*directiveRec
+	key    map[string]map[int]*directiveRec
+}
+
+func newDirectiveIndex() *directiveIndex {
+	return &directiveIndex{
+		allows: map[string]map[string]map[int]*directiveRec{},
+		state:  map[string]map[int]*directiveRec{},
+		key:    map[string]map[int]*directiveRec{},
 	}
-	a[pass][file][line] = true
 }
 
-func (a allowIndex) covers(pass, file string, line int) bool {
-	lines := a[pass][file]
-	return lines[line] || lines[line-1]
+func (d *directiveIndex) addAllow(pass, file string, line, col int) {
+	if d.allows[pass] == nil {
+		d.allows[pass] = map[string]map[int]*directiveRec{}
+	}
+	if d.allows[pass][file] == nil {
+		d.allows[pass][file] = map[int]*directiveRec{}
+	}
+	d.allows[pass][file][line] = &directiveRec{pass: pass, file: file, line: line, col: col}
 }
 
-// collectDirectives scans every comment of the unit for hxlint:allow
-// directives. Valid ones land in the returned index; malformed ones —
-// unknown pass name or a missing reason — become findings themselves, so
-// a suppression can never silently decay into a blanket waiver.
-func collectDirectives(p *pkgUnit) (allowIndex, []Finding) {
-	allowed := allowIndex{}
-	var findings []Finding
-	for _, f := range p.files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//hxlint:allow")
-				if !ok {
-					continue
-				}
-				file, line, col := p.position(c.Pos())
-				pass, reason := splitDirective(text)
-				switch {
-				case !validPasses[pass]:
-					findings = append(findings, Finding{
-						File: file, Line: line, Col: col, Pass: "directive",
-						Msg: "allow directive names unknown pass " + quoteOr(pass, "(none)") +
-							"; valid passes: allocfree, maporder, nodeterm, noconc, seedflow",
-					})
-				case reason == "":
-					findings = append(findings, Finding{
-						File: file, Line: line, Col: col, Pass: "directive",
-						Msg: "allow directive for " + pass + " is missing its reason; write //hxlint:allow " +
-							pass + " — <why this is safe>",
-					})
-				default:
-					allowed.add(pass, file, line)
+// useAllow reports whether an allow directive for pass covers a finding
+// at (file, line) — the directive's own line or the line directly above
+// the finding — marking every matching directive as exercised.
+func (d *directiveIndex) useAllow(pass, file string, line int) bool {
+	lines := d.allows[pass][file]
+	hit := false
+	for _, l := range [2]int{line, line - 1} {
+		if r := lines[l]; r != nil {
+			r.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+func addLineRec(m map[string]map[int]*directiveRec, kind, file string, line, col int) {
+	if m[file] == nil {
+		m[file] = map[int]*directiveRec{}
+	}
+	m[file][line] = &directiveRec{pass: kind, file: file, line: line, col: col}
+}
+
+func useLineRec(m map[string]map[int]*directiveRec, file string, line int) bool {
+	lines := m[file]
+	hit := false
+	for _, l := range [2]int{line, line - 1} {
+		if r := lines[l]; r != nil {
+			r.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// useState reports (and records) whether a //hxlint:state ephemeral
+// directive excuses the field declared at (file, line).
+func (d *directiveIndex) useState(file string, line int) bool { return useLineRec(d.state, file, line) }
+
+// useKey reports (and records) whether a //hxlint:key excluded directive
+// excuses the field declared at (file, line).
+func (d *directiveIndex) useKey(file string, line int) bool { return useLineRec(d.key, file, line) }
+
+// auditStale turns every directive that suppressed or excluded nothing
+// into an allowaudit finding: a stale directive is worse than none, since
+// it reads as a live waiver while the code it excused has moved on.
+func (d *directiveIndex) auditStale() []Finding {
+	var out []Finding
+	emit := func(r *directiveRec, msg string) {
+		out = append(out, Finding{File: r.file, Line: r.line, Col: r.col, Pass: "allowaudit", Msg: msg})
+	}
+	for _, files := range d.allows {
+		for _, lines := range files {
+			for _, r := range lines {
+				if !r.used {
+					emit(r, "allow directive for "+r.pass+" suppresses no finding on this or the next line; delete it (or move it to the offending line)")
 				}
 			}
 		}
 	}
-	return allowed, findings
+	for _, lines := range d.state {
+		for _, r := range lines {
+			if !r.used {
+				emit(r, "state directive excludes no uncovered snapshot field; the field below is covered (or gone) — delete the directive")
+			}
+		}
+	}
+	for _, lines := range d.key {
+		for _, r := range lines {
+			if !r.used {
+				emit(r, "key directive excludes no un-keyed field; the field below is keyed (or gone) — delete the directive")
+			}
+		}
+	}
+	return out
 }
 
-// splitDirective parses the text after "//hxlint:allow" into a pass name
-// and a reason. The reason is separated by an em-dash or a double hyphen.
-func splitDirective(text string) (pass, reason string) {
+// cutDirective splits an hxlint comment into its kind and remainder.
+// kind "" with ok=true means an unrecognized hxlint: directive.
+func cutDirective(text string) (rest, kind string, ok bool) {
+	body, isDirective := strings.CutPrefix(text, "//hxlint:")
+	if !isDirective {
+		return "", "", false
+	}
+	for _, k := range [3]string{"allow", "state", "key"} {
+		r, hasKind := strings.CutPrefix(body, k)
+		if hasKind && (r == "" || r[0] == ' ' || r[0] == '\t') {
+			return r, k, true
+		}
+	}
+	return "", "", true
+}
+
+// collectDirectives scans every comment of the unit for hxlint
+// directives. Valid ones land in the shared index; malformed ones —
+// unknown directive kind, unknown pass name, wrong verb, or a missing
+// reason — become findings themselves, so a suppression can never
+// silently decay into a blanket waiver.
+func collectDirectives(p *pkgUnit, d *directiveIndex) []Finding {
+	var findings []Finding
+	bad := func(file string, line, col int, msg string) {
+		findings = append(findings, Finding{File: file, Line: line, Col: col, Pass: "directive", Msg: msg})
+	}
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, kind, ok := cutDirective(c.Text)
+				if !ok {
+					continue
+				}
+				file, line, col := p.position(c.Pos())
+				verb, reason := splitDirective(rest)
+				switch kind {
+				case "allow":
+					switch {
+					case !validPasses[verb]:
+						bad(file, line, col, "allow directive names unknown pass "+quoteOr(verb, "(none)")+
+							"; valid passes: "+validPassList())
+					case reason == "":
+						bad(file, line, col, "allow directive for "+verb+" is missing its reason; write //hxlint:allow "+
+							verb+" — <why this is safe>")
+					default:
+						d.addAllow(verb, file, line, col)
+					}
+				case "state":
+					switch {
+					case verb != "ephemeral":
+						bad(file, line, col, "state directive has verb "+quoteOr(verb, "(none)")+
+							"; write //hxlint:state ephemeral — <why the field needs no snapshot coverage>")
+					case reason == "":
+						bad(file, line, col, "state directive is missing its reason; write //hxlint:state ephemeral — <why the field needs no snapshot coverage>")
+					default:
+						addLineRec(d.state, "state", file, line, col)
+					}
+				case "key":
+					switch {
+					case verb != "excluded":
+						bad(file, line, col, "key directive has verb "+quoteOr(verb, "(none)")+
+							"; write //hxlint:key excluded — <why the field may be absent from the checkpoint key>")
+					case reason == "":
+						bad(file, line, col, "key directive is missing its reason; write //hxlint:key excluded — <why the field may be absent from the checkpoint key>")
+					default:
+						addLineRec(d.key, "key", file, line, col)
+					}
+				default:
+					bad(file, line, col, "unknown hxlint directive; expected hxlint:allow, hxlint:state, or hxlint:key")
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// splitDirective parses the text after the directive kind into a verb
+// (for allow: the pass name) and a reason. The reason is separated by an
+// em-dash or a double hyphen.
+func splitDirective(text string) (verb, reason string) {
 	text = strings.TrimSpace(text)
 	for _, sep := range []string{"—", "--"} {
 		if before, after, ok := strings.Cut(text, sep); ok {

@@ -5,8 +5,8 @@
 // equality, the fault-injection delivery guarantees — rests on simulations
 // being bit-identical for a fixed seed, and that property is only as
 // strong as the absence of nondeterminism leaks. The passes here turn the
-// conventions documented in internal/rng and internal/sim into mechanical
-// checks that run at `make ci` time:
+// conventions documented in internal/rng, internal/sim, and docs/STATE.md
+// into mechanical checks that run at `make ci` time:
 //
 //   - nodeterm: no wall-clock (time.Now / time.Since / time.Sleep / …) and
 //     no global math/rand calls inside the simulation packages. Wall-clock
@@ -34,22 +34,50 @@
 //     is easy to erode one innocent allocation at a time; this pass makes
 //     every such site an explicit, reasoned decision. Amortized pool
 //     refills stay, annotated with an allow directive.
+//   - stagesafe (interprocedural): builds a call graph rooted at the
+//     event-execution entry points — every Act/Execute method in the
+//     determinism scope — and flags any reachable mutation of globally
+//     visible state (counter writes on multi-shard actors, kernel
+//     schedules, observer invocations) that is neither routed through the
+//     ShardState staging API (stageFx/StageCount/StageBirth/sim.Stage)
+//     nor guarded by the serial branch of the `sharded` idiom. It is the
+//     static complement to the golden-trace shards-vs-serial equivalence
+//     tests: a missed staging site fails the build before it ever runs.
+//   - statecover (interprocedural): field-coverage analysis of the state
+//     contracts in docs/STATE.md. Every field of a struct owning a
+//     Snapshot/Restore method pair must be referenced on both the capture
+//     and the restore path (same-package helpers are followed
+//     transitively), and every field of a Config/RunOpts struct with a
+//     configKey/optsKey partner must appear in that key function —
+//     otherwise the field must carry a reasoned //hxlint:state or
+//     //hxlint:key exclusion directive.
+//   - allowaudit: flags stale directives — an allow that suppresses no
+//     finding, or a state/key exclusion whose field is in fact covered.
+//     Rot makes real suppressions invisible; a stale waiver fails the
+//     build like any other finding.
 //
-// # Allow directives
+// # Directives
 //
 // A finding can be suppressed — with a mandatory, human-readable reason —
 // by a directive on the offending line or on the line directly above it:
 //
 //	//hxlint:allow maporder — emission order is re-sorted by the caller
 //
+// statecover has two dedicated exclusion grammars, placed on (or directly
+// above) the field declaration they excuse:
+//
+//	//hxlint:state ephemeral — <why the field needs no snapshot coverage>
+//	//hxlint:key excluded — <why the field may be absent from the key>
+//
 // The separator may be an em-dash ("—") or a double hyphen ("--"). A
-// directive without a reason is itself reported as a finding, and an
-// invalid directive suppresses nothing.
+// directive without a reason (or with an unknown kind, pass, or verb) is
+// itself reported as a finding and suppresses nothing, and a directive
+// that suppresses nothing is reported stale by allowaudit.
 //
 // # Scope
 //
-// The determinism scope (nodeterm, seedflow, noconc) is the simulation
-// package set: internal/sim, internal/network, internal/core,
+// The determinism scope (nodeterm, seedflow, noconc, stagesafe) is the
+// simulation package set: internal/sim, internal/network, internal/core,
 // internal/routing, internal/route, internal/traffic, internal/topology,
 // internal/stats, plus internal/app (single-threaded workload code driven
 // by the same kernel) and internal/shard. internal/shard is the one
@@ -59,10 +87,12 @@
 // golden-trace shards-vs-serial equivalence tests instead, and nodeterm,
 // seedflow, and maporder still apply there. The maporder pass additionally
 // covers the output path: the module root package, internal/harness
-// (manifest emission), and every cmd/ binary. seedflow skips _test.go
-// files — tests may build ad-hoc fixture seeds — while nodeterm, maporder,
-// and noconc apply to tests too: map-ordered subtest scheduling and output
-// is exactly the kind of flake this suite exists to prevent.
+// (manifest emission), and every cmd/ binary. statecover runs over every
+// loaded package (the checkpoint-key contract lives in the root package).
+// seedflow, stagesafe, and statecover skip _test.go files — tests may
+// build ad-hoc fixture seeds and mutate state directly — while nodeterm,
+// maporder, and noconc apply to tests too: map-ordered subtest scheduling
+// and output is exactly the kind of flake this suite exists to prevent.
 //
 // # Limitations
 //
@@ -70,7 +100,11 @@
 // map detection is exact for anything declared in the module or the
 // standard library. Files that fail to parse abort the run; files with
 // type errors are analyzed on a best-effort basis (an expression whose
-// type cannot be resolved is never flagged by maporder).
+// type cannot be resolved is never flagged by maporder). stagesafe does
+// not devirtualize interface calls and treats element writes into slice
+// and map fields as shard-partitioned (the golden-trace suite covers
+// those); statecover checks field references syntactically per named
+// struct, not aliasing through copies.
 package lint
 
 import (
@@ -79,13 +113,17 @@ import (
 )
 
 // Finding is one diagnostic: a determinism-contract violation (or a
-// malformed allow directive) at a specific line.
+// malformed directive) at a specific line.
 type Finding struct {
-	File string // path relative to the linted module root
-	Line int
-	Col  int
-	Pass string // "nodeterm", "seedflow", "maporder", "noconc", "allocfree", or "directive"
-	Msg  string
+	File string `json:"file"` // path relative to the linted module root
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Pass string `json:"pass"` // pass name, "directive", or "allowaudit"
+	Msg  string `json:"msg"`
+	// Suppressed marks a finding waived by a valid allow directive. Run
+	// drops suppressed findings; RunAll keeps them, flagged, so tooling
+	// (hxlint -json) can expose the waiver trail.
+	Suppressed bool `json:"suppressed"`
 }
 
 // String renders the finding in the canonical "file:line: [pass] message"
@@ -94,19 +132,47 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Pass, f.Msg)
 }
 
-// Run lints the Go module rooted at root and returns all findings sorted
-// by (file, line, column, pass). A nil, nil return means the tree is
-// clean. Run fails with an error only for structural problems — missing
-// go.mod, unparsable source — never for findings.
+// Run lints the Go module rooted at root and returns the live findings
+// sorted by (file, line, column, pass). A nil, nil return means the tree
+// is clean. Run fails with an error only for structural problems —
+// missing go.mod, unparsable source — never for findings.
 func Run(root string) ([]Finding, error) {
-	pkgs, err := load(root)
+	all, err := RunAll(root)
 	if err != nil {
 		return nil, err
 	}
 	var out []Finding
-	for _, p := range pkgs {
-		out = append(out, lintPackage(p)...)
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
 	}
+	return out, nil
+}
+
+// RunAll lints like Run but also returns suppressed findings, each
+// carrying Suppressed=true, so consumers can audit what the allow
+// directives are waiving.
+func RunAll(root string) ([]Finding, error) {
+	pkgs, err := load(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := newDirectiveIndex()
+	var out []Finding
+	for _, p := range pkgs {
+		out = append(out, collectDirectives(p, dirs)...)
+		out = append(out, lintUnit(p)...)
+	}
+	out = append(out, passStagesafe(pkgs)...)
+	out = append(out, passStatecover(pkgs, dirs)...)
+	for i := range out {
+		f := &out[i]
+		if f.Pass != "directive" && dirs.useAllow(f.Pass, f.File, f.Line) {
+			f.Suppressed = true
+		}
+	}
+	out = append(out, dirs.auditStale()...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -122,12 +188,10 @@ func Run(root string) ([]Finding, error) {
 	return out, nil
 }
 
-// lintPackage runs every pass that applies to the package's scope and
-// filters the results through the file's allow directives.
-func lintPackage(p *pkgUnit) []Finding {
+// lintUnit runs every per-package pass that applies to the unit's scope.
+// Suppression and the module-wide passes are Run's job.
+func lintUnit(p *pkgUnit) []Finding {
 	var raw []Finding
-	allowed, dirFindings := collectDirectives(p)
-	raw = append(raw, dirFindings...)
 	if p.scope.determinism {
 		raw = append(raw, passNodeterm(p)...)
 		raw = append(raw, passSeedflow(p)...)
@@ -141,12 +205,5 @@ func lintPackage(p *pkgUnit) []Finding {
 	if p.scope.allocpath {
 		raw = append(raw, passAllocfree(p)...)
 	}
-	out := raw[:0]
-	for _, f := range raw {
-		if f.Pass != "directive" && allowed.covers(f.Pass, f.File, f.Line) {
-			continue
-		}
-		out = append(out, f)
-	}
-	return out
+	return raw
 }

@@ -55,7 +55,7 @@ func TestFixtureFindsEveryPass(t *testing.T) {
 	for _, f := range findings {
 		seen[f.Pass]++
 	}
-	for _, pass := range []string{"nodeterm", "seedflow", "maporder", "noconc", "allocfree", "directive"} {
+	for _, pass := range []string{"nodeterm", "seedflow", "maporder", "noconc", "allocfree", "stagesafe", "statecover", "allowaudit", "directive"} {
 		if seen[pass] == 0 {
 			t.Errorf("fixture tree has no %s finding; the pass is untested", pass)
 		}
@@ -96,6 +96,70 @@ func TestDirectiveSuppression(t *testing.T) {
 	}
 	if !badDirectiveLoop {
 		t.Error("reason-less directive suppressed its finding; it must not")
+	}
+}
+
+// TestStagesafeGuards pins the guard semantics on the fixture: exactly
+// the four parallel-path mutations in net.go are reported, while the
+// serial branches, the early-return schedule wrapper, the ShardState
+// nil-check, and the coordinator-only merge (unreachable from Act) are
+// exempt — without net.go appearing in any exemption list.
+func TestStagesafeGuards(t *testing.T) {
+	findings, err := Run(filepath.Join("testdata", "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, f := range findings {
+		if f.Pass == "stagesafe" && f.File == "internal/network/net.go" {
+			got = append(got, f.Line)
+		}
+	}
+	want := []int{34, 37, 52, 57}
+	if len(got) != len(want) {
+		t.Fatalf("stagesafe lines in net.go = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stagesafe lines in net.go = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunAllMarksSuppressed asserts the waiver trail RunAll exposes for
+// hxlint -json: findings waived by a valid allow directive are returned
+// with Suppressed=true and are absent from Run's live set.
+func TestRunAllMarksSuppressed(t *testing.T) {
+	all, err := RunAll(filepath.Join("testdata", "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressed := map[string]bool{}
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed[f.String()] = true
+		}
+	}
+	var haveEmit, haveSelect bool
+	for l := range suppressed {
+		if strings.HasPrefix(l, "internal/stats/emit.go:43: [maporder]") {
+			haveEmit = true
+		}
+		if strings.Contains(l, "conc.go") && strings.Contains(l, "select statement") {
+			haveSelect = true
+		}
+	}
+	if !haveEmit || !haveSelect {
+		t.Errorf("RunAll should surface the annotated emit.go:44 loop and conc.go select as suppressed; got %v", suppressed)
+	}
+	live, err := Run(filepath.Join("testdata", "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range live {
+		if f.Suppressed || suppressed[f.String()] {
+			t.Errorf("suppressed finding leaked into Run: %s", f)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+// Fixture: seeded stagesafe violations — a multi-shard actor (ShardOf
+// consults the event) whose Act-reachable helpers mutate shared state
+// without staging, next to every guard idiom the pass must honor.
+package network
+
+import "hyperx/internal/sim"
+
+type ShardState struct {
+	Stage *sim.Stage
+}
+
+func (sc *ShardState) stageCount(delta uint64) {}
+
+type Network struct {
+	K         *sim.Kernel
+	sc        *ShardState
+	sharded   bool
+	Delivered uint64
+	Dropped   uint64
+	OnDeliver func(uint64)
+}
+
+// ShardOf consults the event, so Network state is visible to every shard:
+// direct writes on the Act path must be staged or serial-guarded.
+func (n *Network) ShardOf(_ uint8, a, _, _ int32, _ any) int {
+	return int(a) % 2
+}
+
+func (n *Network) Act(op uint8, a, b, c int32, p any) {
+	n.deliver(a)
+}
+
+func (n *Network) deliver(a int32) {
+	n.Delivered++ // violation: unstaged counter on the parallel path
+	if n.sharded {
+		n.sc.stageCount(1)
+		n.Dropped++ // violation: direct write inside the sharded branch
+	} else {
+		n.Dropped++ // serial branch: exempt
+	}
+	n.notify()
+	n.retry(a)
+}
+
+func (n *Network) notify() {
+	if !n.sharded {
+		if n.OnDeliver != nil {
+			n.OnDeliver(n.Delivered) // serial branch: exempt
+		}
+		return
+	}
+	n.OnDeliver(n.Delivered) // violation: unstaged observer invocation
+}
+
+func (n *Network) retry(a int32) {
+	n.schedule(a)
+	n.K.AfterAct(1, n, 0, a, 0, 0, nil) // violation: unstaged kernel schedule
+}
+
+func (n *Network) schedule(a int32) *sim.Event {
+	if n.sharded {
+		return n.sc.Stage.AtAct(2, n, 0, a, 0, 0, nil)
+	}
+	return n.K.AtAct(2, n, 0, a, 0, 0, nil) // early-return guard: exempt
+}
+
+// merge runs only on the coordinator after the barrier; it is not
+// reachable from Act, so its direct writes are exempt.
+func (n *Network) merge(sc *ShardState) {
+	n.Delivered++
+	if sc == nil {
+		n.Dropped++ // ShardState nil-check guard: exempt even when reached
+	}
+}

@@ -1,0 +1,20 @@
+// Fixture: a stale allow directive — the emission loop below it was
+// rewritten over sorted keys, so the suppression waives nothing and
+// allowaudit must flag it.
+package stats
+
+import "sort"
+
+func EmitSorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // key-gathering loop: maporder-exempt
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	//hxlint:allow maporder — stale: the loop below ranges a sorted slice now
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

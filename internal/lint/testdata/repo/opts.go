@@ -1,0 +1,20 @@
+// Fixture: seeded checkpoint-key violations — a RunOpts field absent from
+// optsKey without a reasoned exclusion, one properly excluded field, and
+// a wrong-verb directive the grammar must reject.
+package hyperx
+
+import "fmt"
+
+type RunOpts struct {
+	Warmup int
+	Window int
+	Shards int // violation: absent from optsKey, no exclusion directive
+	//hxlint:key excluded — probe depth shapes reporting only, never simulated state
+	Probe int
+	//hxlint:key stale — wrong verb: rejected, field still reported
+	Trace bool
+}
+
+func optsKey(o RunOpts) string {
+	return fmt.Sprintf("warm=%d;win=%d", o.Warmup, o.Window)
+}

@@ -128,25 +128,31 @@ type Network struct {
 	Routers   []*Router
 	Terminals []*Terminal
 
+	//hxlint:state ephemeral — build-time wiring derived from Config; the restore target is built from the identical Config
 	classVCs [][]int8 // resource class -> physical VCs
 
 	// OnDeliver, if set, is invoked when a packet's head reaches its
 	// destination terminal, before the packet is recycled.
+	//hxlint:state ephemeral — measurement observer; every run point rebinds its own collector after restore
 	OnDeliver func(p *route.Packet, at sim.Time)
 
 	// OnHop, if set, observes every router-to-router grant: the packet
 	// (with routing state already committed for this hop), the granting
 	// router, and the chosen output port and VC. Used for path tracing
 	// and hop statistics.
+	//hxlint:state ephemeral — measurement observer; every run point rebinds its own collector after restore
 	OnHop func(p *route.Packet, router, port int, vc int8)
 
 	// OnDrop, if set, observes every packet discarded because routing
 	// found no live candidate (fault-induced detect-and-drop), before the
 	// packet is recycled.
+	//hxlint:state ephemeral — measurement observer; every run point rebinds its own collector after restore
 	OnDrop func(p *route.Packet, at sim.Time)
 
+	//hxlint:state ephemeral — build-time wiring derived from Config.Faults; the restore target is built from the identical Config
 	hasFaults bool
 
+	//hxlint:state ephemeral — abandoned on restore (set nil; intrusive links may thread clobbered structs) and refilled lazily, see docs/STATE.md
 	pool    *route.Packet // free list threaded through Packet.Next
 	nextPkt uint64
 
@@ -154,7 +160,9 @@ type Network struct {
 	// ConfigureShards; sharded is true only inside the executor's parallel
 	// phases, and is the single branch the hot path takes to divert
 	// schedule calls and global side effects to the per-shard stages.
-	shards  []*ShardState
+	//hxlint:state ephemeral — shard machinery is empty at every cycle boundary and Snapshot/Restore only run between cycles (docs/STATE.md)
+	shards []*ShardState
+	//hxlint:state ephemeral — true only inside the executor's parallel phases, never when a snapshot can be taken
 	sharded bool
 
 	// Snapshot plumbing (see snapshot.go / docs/STATE.md): the network
@@ -164,7 +172,8 @@ type Network struct {
 	streams      []rng.Source // per-router RNG streams (ctx.RNG points in)
 	credSlab     []int32      // all routers' downstream credit counters
 	termCredSlab []int32      // all terminals' injection credit counters
-	restorePkts  []route.Packet
+	//hxlint:state ephemeral — restore-owned arena the snapshot's packets are rebuilt into; capturing it would be circular
+	restorePkts []route.Packet
 
 	// Aggregate counters.
 	InjectedPackets  uint64

@@ -105,7 +105,8 @@ type Kernel struct {
 	// valid for t in [winStart, winStart+ringSize).
 	ring     []bucket
 	winStart Time
-	nring    int
+	//hxlint:state ephemeral — derived ring-occupancy count; restore rebuilds it by re-enqueueing every captured event
+	nring int
 
 	// Far-future overflow, ordered by (at, seq).
 	far farHeap
@@ -116,14 +117,17 @@ type Kernel struct {
 	// practically always empty.
 	late []*Event
 
+	//hxlint:state ephemeral — capacity detail, never serialized; the pool refills lazily after restore (see docs/STATE.md)
 	free []*Event // recycled events: zero steady-state allocation
 
+	//hxlint:state ephemeral — run-loop latch consumed before Run returns; restore only clears it
 	halted bool // set by Halt; Run returns at the next event boundary
 
 	// TraceExec, when non-nil, observes every executed (live) event as
 	// (time, seq) immediately before its callback runs. It exists for the
 	// golden-trace regression test, which folds the exact execution order
 	// into a pinned hash; production runs leave it nil.
+	//hxlint:state ephemeral — observer hook, rebound by the caller after restore if wanted
 	TraceExec func(at Time, seq uint64)
 }
 

@@ -265,7 +265,6 @@ func (st *Stage) MoveFree(dst *Stage, n int) {
 		n = len(st.free)
 	}
 	cut := len(st.free) - n
-	//hxlint:allow allocfree — rebalancing moves existing pooled structs between stages; capacity growth is bounded by the donor's high-water mark
 	dst.free = append(dst.free, st.free[cut:]...)
 	for i := cut; i < len(st.free); i++ {
 		st.free[i] = nil

@@ -45,12 +45,16 @@ func (f FixedSize) Mean() float64 { return float64(f) }
 // interarrival gaps whose mean realizes the configured offered load
 // (in flits per cycle per terminal, 1.0 = channel capacity).
 type Generator struct {
-	Net     *network.Network
+	//hxlint:state ephemeral — wiring: a restore target drives its own network, rebound at construction
+	Net *network.Network
+	//hxlint:state ephemeral — stateless value type (no pattern holds mutable state); shared freely across forks
 	Pattern Pattern
-	Sizes   SizeDist
-	Load    float64
+	//hxlint:state ephemeral — stateless value type; shared freely across forks
+	Sizes SizeDist
+	Load  float64
 
 	// OnBirth, if set, observes every generated packet (for stats).
+	//hxlint:state ephemeral — measurement observer; every run point rebinds its own collector after restore
 	OnBirth func(src, dst, flits int, at sim.Time)
 
 	// SelfRedirects counts packets whose pattern mapped a source onto

@@ -34,6 +34,7 @@ type RunOpts struct {
 	// checkpoint key (checkpoint.go optsKey): a cache written serially is
 	// served to sharded runs and vice versa. Counts above the router
 	// count are clamped.
+	//hxlint:key excluded — results are bit-identical across shard counts, so serial and sharded runs share checkpoints (TestShardsExcludedFromCheckpointKey)
 	Shards int
 }
 
