@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // checkpointVersion is the on-disk checkpoint format version. Bump it
@@ -36,6 +37,15 @@ type checkpointFile struct {
 // (write-to-temp + rename); concurrent workers never observe torn files.
 type CheckpointStore struct {
 	dir string
+
+	// Access counters for the cache-stats surface of the sweep service:
+	// hits and misses count Load outcomes (a filename collision with a
+	// different key is a miss), saves counts successful Save calls. They
+	// are atomics because the harness pool and concurrent service jobs
+	// share one store.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	saves  atomic.Uint64
 }
 
 // OpenCheckpointDir opens (creating if needed) a checkpoint directory.
@@ -64,6 +74,7 @@ func (s *CheckpointStore) Load(key string, into any) (bool, error) {
 	path := s.path(key)
 	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
+		s.misses.Add(1)
 		return false, nil
 	}
 	if err != nil {
@@ -77,6 +88,7 @@ func (s *CheckpointStore) Load(key string, into any) (bool, error) {
 		return false, fmt.Errorf("hyperx: checkpoint %s has format version %d, this build reads version %d; delete the checkpoint directory to recompute", path, f.Version, checkpointVersion)
 	}
 	if f.Key != key {
+		s.misses.Add(1)
 		return false, nil // hash collision with a different experiment
 	}
 	if crc := crc32.ChecksumIEEE(f.Payload); crc != f.CRC {
@@ -85,6 +97,7 @@ func (s *CheckpointStore) Load(key string, into any) (bool, error) {
 	if err := json.Unmarshal(f.Payload, into); err != nil {
 		return false, fmt.Errorf("hyperx: checkpoint %s payload does not parse (%v); delete it to recompute", path, err)
 	}
+	s.hits.Add(1)
 	return true, nil
 }
 
@@ -112,7 +125,49 @@ func (s *CheckpointStore) Save(key string, v any) error {
 		os.Remove(tmp)
 		return fmt.Errorf("hyperx: checkpoint save: %w", err)
 	}
+	s.saves.Add(1)
 	return nil
+}
+
+// CacheStats describes a checkpoint store for the service's
+// /v1/cache/stats endpoint: the on-disk footprint plus this process's
+// access counters (which start at zero per store instance; entries and
+// bytes survive restarts, the counters do not).
+type CacheStats struct {
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Saves   uint64 `json:"saves"`
+}
+
+// Stats walks the store directory and returns its current footprint and
+// access counters. The walk ignores non-checkpoint files (temp files of
+// in-flight saves, stray editor droppings).
+func (s *CheckpointStore) Stats() (CacheStats, error) {
+	st := CacheStats{
+		Dir:    s.dir,
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Saves:  s.saves.Load(),
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return st, fmt.Errorf("hyperx: checkpoint stats: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt.json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted between readdir and stat: not an error
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+	}
+	return st, nil
 }
 
 // pointRecord is the persisted payload of one completed load point.
@@ -190,4 +245,32 @@ func curveKey(cfg Config, pattern string, loads []float64, opts RunOpts, fk Fork
 	return fmt.Sprintf("curve|v%d|%s|pat=%s|loads=%s|%s|fork=%d,%s,%d",
 		checkpointVersion, configKey(cfg), pattern, strings.Join(ls, ","),
 		optsKey(opts), fk.WarmCycles, hexFloat(fk.WarmLoad), fk.Settle)
+}
+
+// PointKey returns the canonical content address of one cold-path load
+// point result — the key the checkpoint store files it under and the
+// sweep service deduplicates in-flight computations on. Config and
+// RunOpts are canonicalized (defaults applied) first, so callers need
+// not pre-default; the exact string format is pinned by the
+// key-stability test against testdata/checkpoint_keys.txt, and the
+// intentional-change procedure is documented in docs/STATE.md.
+func PointKey(cfg Config, pattern string, load float64, opts RunOpts) string {
+	return pointKey(cfg.withDefaults(), pattern, load, opts.withDefaults())
+}
+
+// ThptKey returns the canonical content address of one saturated-
+// throughput grid cell (offered load is always 1.0 on that path). See
+// PointKey for the canonicalization and stability contract.
+func ThptKey(cfg Config, pattern string, opts RunOpts) string {
+	return thptKey(cfg.withDefaults(), pattern, opts.withDefaults())
+}
+
+// CurveKey returns the canonical content address of one whole-curve
+// result under the fork methodology fk, defaulted exactly as the forked
+// sweep defaults it (so the zero ForkOpts addresses the pristine fork,
+// whose results are byte-identical to the cold path). See PointKey for
+// the canonicalization and stability contract.
+func CurveKey(cfg Config, pattern string, loads []float64, opts RunOpts, fk ForkOpts) string {
+	o := opts.withDefaults()
+	return curveKey(cfg.withDefaults(), pattern, loads, o, fk.withDefaults(o))
 }

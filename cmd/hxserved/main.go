@@ -1,0 +1,102 @@
+// Command hxserved is the persistent sweep service: an HTTP daemon that
+// runs hxsweep's experiments behind a content-addressed result cache.
+//
+// Submit an experiment, poll it, fetch its CSV — byte-identical to what
+// cmd/hxsweep prints for the same configuration:
+//
+//	hxserved -checkpoint-dir /var/lib/hyperx/cache &
+//	curl -d '{"config":{"Seed":1},"opts":{"Warmup":20000,"Window":15000}}' \
+//	     localhost:8080/v1/sweeps
+//	curl localhost:8080/v1/jobs/<id>               # status
+//	curl -N localhost:8080/v1/jobs/<id>/events     # NDJSON progress
+//	curl localhost:8080/v1/jobs/<id>/result.csv    # the Figure 6 panel
+//	curl localhost:8080/v1/cache/stats             # store + dedup counters
+//
+// Jobs are identified by the hash of their cells' checkpoint keys:
+// resubmitting a completed experiment returns the finished job, and
+// after a restart against the same -checkpoint-dir the cells replay out
+// of the store in microseconds (the result manifest's provenance block
+// records how many were cached). On SIGINT/SIGTERM the daemon drains:
+// running jobs finish and persist, queued jobs report cancelled.
+//
+// -addr :0 picks a free port; -addr-file writes the bound address for
+// scripts (see make servesmoke).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyperx/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (use :0 for a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		ckptDir  = flag.String("checkpoint-dir", "", "content-addressed result cache directory (empty = in-memory dedup only)")
+		jobs     = flag.Int("j", 0, "harness workers per job (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "default per-simulation shard count for requests that leave it unset")
+		queue    = flag.Int("queue", 0, "submit queue depth (0 = default 32)")
+		active   = flag.Int("active", 0, "jobs executed concurrently (0 = default 2)")
+		drain    = flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for running jobs")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Options{
+		CheckpointDir: *ckptDir,
+		Workers:       *jobs,
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		Executors:     *active,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hxserved: listening on %s (cache %q)\n", ln.Addr(), *ckptDir)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "hxserved: draining (running jobs finish, queued jobs cancel)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "hxserved: drain:", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "hxserved: http:", err)
+	}
+}

@@ -90,12 +90,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println("algorithm,faults,load,mean_ns,p99_ns,accepted,delivered,dropped,delivered_frac")
-		for _, p := range points {
-			lp := p.LoadPoint
-			fmt.Printf("%s,%d,%.3f,%.1f,%.1f,%.3f,%d,%d,%.6f\n",
-				p.Algorithm, p.Faults, lp.Load, lp.Mean, lp.P99, lp.Accepted,
-				lp.Delivered, lp.Dropped, p.DeliveredFrac())
+		if err := hyperx.WriteResilienceCSV(os.Stdout, points); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -108,13 +105,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("pattern,%s\n", strings.Join(algList, ","))
-		for pi, pat := range grid.Patterns {
-			row := []string{pat}
-			for ai := range grid.Algorithms {
-				row = append(row, fmt.Sprintf("%.3f", grid.Values[pi][ai]))
-			}
-			fmt.Println(strings.Join(row, ","))
+		if err := hyperx.WriteThroughputCSV(os.Stdout, grid); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -127,13 +120,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println("algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated,delivered,dropped")
-	for _, c := range curves {
-		for _, p := range c.Points {
-			fmt.Printf("%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v,%d,%d\n",
-				c.Algorithm, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated, p.Delivered, p.Dropped)
-		}
-		if !*quiet {
+	if err := hyperx.WriteSweepCSV(os.Stdout, curves); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		for _, c := range curves {
 			fmt.Fprintf(os.Stderr, "done %s/%s: %d points\n", c.Pattern, c.Algorithm, len(c.Points))
 		}
 	}

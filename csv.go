@@ -1,0 +1,71 @@
+package hyperx
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the single source of truth for the CSV shapes of every
+// experiment output. cmd/hxsweep prints through these writers and the
+// sweep service (internal/serve) serves result.csv through them, which
+// is what makes the daemon's responses byte-identical to the CLI's
+// files for the same Config/RunOpts — the service is a serving layer in
+// front of the same computation, never a second implementation of the
+// output format. The httptest suite pins this equivalence.
+
+// WriteSweepCSV renders load-latency curves (one Figure 6 panel) in the
+// exact byte format cmd/hxsweep emits: a fixed header, then one row per
+// point in curve order, each curve truncated at its first saturated
+// point by the sweep itself.
+func WriteSweepCSV(w io.Writer, curves []Curve) error {
+	if _, err := fmt.Fprintln(w, "algorithm,load,mean_ns,p50_ns,p99_ns,accepted,saturated,delivered,dropped"); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.3f,%.1f,%.1f,%.1f,%.3f,%v,%d,%d\n",
+				c.Algorithm, p.Load, p.Mean, p.P50, p.P99, p.Accepted, p.Saturated, p.Delivered, p.Dropped); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteThroughputCSV renders the Figure 6g saturated-throughput grid in
+// the exact byte format cmd/hxsweep emits: an algorithm-named header,
+// then one row per pattern.
+func WriteThroughputCSV(w io.Writer, grid *ThroughputGrid) error {
+	if _, err := fmt.Fprintf(w, "pattern,%s\n", strings.Join(grid.Algorithms, ",")); err != nil {
+		return err
+	}
+	for pi, pat := range grid.Patterns {
+		row := []string{pat}
+		for ai := range grid.Algorithms {
+			row = append(row, fmt.Sprintf("%.3f", grid.Values[pi][ai]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResilienceCSV renders the graceful-degradation experiment in the
+// exact byte format cmd/hxsweep emits: one row per algorithm ×
+// fault-count cell, grouped by algorithm with ascending k.
+func WriteResilienceCSV(w io.Writer, points []ResiliencePoint) error {
+	if _, err := fmt.Fprintln(w, "algorithm,faults,load,mean_ns,p99_ns,accepted,delivered,dropped,delivered_frac"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		lp := p.LoadPoint
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.1f,%.1f,%.3f,%d,%d,%.6f\n",
+			p.Algorithm, p.Faults, lp.Load, lp.Mean, lp.P99, lp.Accepted,
+			lp.Delivered, lp.Dropped, p.DeliveredFrac()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -76,6 +76,34 @@ type Options struct {
 	// Progress, when non-nil, receives a one-line status after each job
 	// completes. Writes are serialized by the engine.
 	Progress func(line string)
+	// OnEvent, when non-nil, receives a structured progress event after
+	// each job resolves — the machine-readable twin of Progress, streamed
+	// by the hxserved job-event endpoint. Calls are serialized by the
+	// engine and arrive in completion order, not job order.
+	OnEvent func(Event)
+}
+
+// Event is one structured progress notification: the fate of a single
+// job plus the run-wide counters at that moment. It is what a service
+// client sees while a sweep is in flight, so it carries identity (label,
+// curve, point), outcome (status, cached, saturated), cost (wall time,
+// simulated cycles, kernel events), and the done/cancelled/failed/total
+// frontier of the whole run.
+type Event struct {
+	Label     string  `json:"label"`
+	Curve     int     `json:"curve"`
+	Point     int     `json:"point"`
+	Status    string  `json:"status"` // "ok", "saturated", "skipped", "cancelled", or "failed"
+	Cached    bool    `json:"cached,omitempty"`
+	Saturated bool    `json:"saturated,omitempty"`
+	WallSecs  float64 `json:"wall_seconds"`
+	SimCycles int64   `json:"sim_cycles,omitempty"`
+	Events    uint64  `json:"events,omitempty"`
+
+	Done      int `json:"done"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+	Total     int `json:"total"`
 }
 
 // JobResult pairs a job with what happened to it. Exactly one of Done,
@@ -147,19 +175,38 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*RunResult, error) {
 		started  = time.Now()
 	)
 	progress := func(idx int, status string, wall time.Duration, out Outcome) {
-		if opts.Progress == nil {
+		if opts.Progress == nil && opts.OnEvent == nil {
 			return
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		line := fmt.Sprintf("[%d/%d done, %d cancelled, %d failed] %-9s %s",
-			done, len(jobs), canceled, failed, status, jobs[idx].Label)
-		if status == "ok" || status == "saturated" {
-			evs := float64(out.Events) / math.Max(wall.Seconds(), 1e-9)
-			line += fmt.Sprintf("  %.2fs wall, %d cycles, %.2f Mev/s",
-				wall.Seconds(), out.Cycles, evs/1e6)
+		if opts.Progress != nil {
+			line := fmt.Sprintf("[%d/%d done, %d cancelled, %d failed] %-9s %s",
+				done, len(jobs), canceled, failed, status, jobs[idx].Label)
+			if status == "ok" || status == "saturated" {
+				evs := float64(out.Events) / math.Max(wall.Seconds(), 1e-9)
+				line += fmt.Sprintf("  %.2fs wall, %d cycles, %.2f Mev/s",
+					wall.Seconds(), out.Cycles, evs/1e6)
+			}
+			opts.Progress(line)
 		}
-		opts.Progress(line)
+		if opts.OnEvent != nil {
+			opts.OnEvent(Event{
+				Label:     jobs[idx].Label,
+				Curve:     jobs[idx].Curve,
+				Point:     jobs[idx].Point,
+				Status:    status,
+				Cached:    out.Cached,
+				Saturated: out.Saturated,
+				WallSecs:  wall.Seconds(),
+				SimCycles: out.Cycles,
+				Events:    out.Events,
+				Done:      done,
+				Cancelled: canceled,
+				Failed:    failed,
+				Total:     len(jobs),
+			})
+		}
 	}
 
 	next := make(chan int)

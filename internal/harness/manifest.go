@@ -22,9 +22,10 @@ type JobRecord struct {
 	Status string `json:"status"` // "done", "cancelled", or "failed"
 	Error  string `json:"error,omitempty"`
 
-	// Cached marks a job whose result was served from the checkpoint
-	// store instead of being simulated in this run; its counters describe
-	// the original run that produced the result.
+	// Cached marks a job whose result was not simulated by this job: it
+	// was served from the checkpoint store, or shared from a concurrent
+	// identical computation in another sweep (Flight dedup). Its counters
+	// describe the run that actually produced the result.
 	Cached bool `json:"cached,omitempty"`
 
 	Saturated    bool    `json:"saturated,omitempty"`

@@ -80,12 +80,15 @@
 // simulation package set: internal/sim, internal/network, internal/core,
 // internal/routing, internal/route, internal/traffic, internal/topology,
 // internal/stats, plus internal/app (single-threaded workload code driven
-// by the same kernel) and internal/shard. internal/shard is the one
-// reasoned exception to noconc (see noconcExempt): the sharded executor
-// exists to run one instance on several cores, so goroutines and sync
-// primitives are its point — its determinism is enforced by the
-// golden-trace shards-vs-serial equivalence tests instead, and nodeterm,
-// seedflow, and maporder still apply there. The maporder pass additionally
+// by the same kernel), internal/shard, and internal/serve. internal/shard
+// and internal/serve are the two reasoned exceptions to noconc (see
+// noconcExempt): the sharded executor exists to run one instance on
+// several cores, and the sweep service's job queue and executor pool
+// dispatch whole simulations concurrently from the harness side —
+// goroutines and sync primitives are their point. Their determinism is
+// enforced by the golden-trace shards-vs-serial equivalence tests and
+// the httptest/stampede suite under -race instead, and nodeterm,
+// seedflow, and maporder still apply to both. The maporder pass additionally
 // covers the output path: the module root package, internal/harness
 // (manifest emission), and every cmd/ binary. statecover runs over every
 // loaded package (the checkpoint-key contract lives in the root package).

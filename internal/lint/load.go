@@ -45,19 +45,27 @@ var simPackages = map[string]bool{
 	"internal/stats":    true,
 	"internal/app":      true,
 	"internal/shard":    true,
+	"internal/serve":    true,
 }
 
 // noconcExempt carves packages out of the noconc pass while keeping the
 // rest of the determinism scope (nodeterm, seedflow, maporder) in force.
-// internal/shard is the sole entry: it is the barrier-synchronized
-// sharded executor, whose entire purpose is in-instance concurrency.
-// Its determinism rests on a replay contract — staged effects merge in
-// global (router, seq) order at every cycle boundary — proven by the
-// golden-trace equivalence suite (shards N byte-identical to shards 1)
-// and the -race CI target, not by the absence of goroutines. Wall-clock
-// and global-RNG bans still apply there in full.
+// internal/shard is the barrier-synchronized sharded executor, whose
+// entire purpose is in-instance concurrency. Its determinism rests on a
+// replay contract — staged effects merge in global (router, seq) order
+// at every cycle boundary — proven by the golden-trace equivalence
+// suite (shards N byte-identical to shards 1) and the -race CI target,
+// not by the absence of goroutines. internal/serve is the sweep
+// service's job queue and executor pool: its goroutines and channels
+// live on the harness side of the in-instance/no-concurrency line
+// (they dispatch whole simulations, never run inside one), and its
+// correctness is pinned by the httptest + stampede suite under -race.
+// Wall-clock and global-RNG bans still apply to both in full — serve
+// routes timestamps through an injectable clock for exactly this
+// reason.
 var noconcExempt = map[string]bool{
 	"internal/shard": true,
+	"internal/serve": true,
 }
 
 // scopeFor classifies a module-relative package path ("" is the root

@@ -1,0 +1,37 @@
+// Fixture: the serve carve-out. internal/serve is exempt from the
+// noconc pass — the go statement, channel, and mutex below must produce
+// NO findings — but it stays inside the determinism scope, so the
+// wall-clock default and the global-RNG job ID below are violations.
+// This pins that exempting the serving layer's concurrency never
+// loosens the clock and RNG bans there.
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex // exempt: no sync-primitive finding here
+	jobs  chan int   // exempt: no channel-type finding here
+	count int
+}
+
+func (s *server) start() {
+	go func() { // exempt: no go-statement finding here
+		for j := range s.jobs {
+			s.mu.Lock()
+			s.count += j
+			s.mu.Unlock()
+		}
+	}()
+}
+
+func (s *server) stamp() time.Time {
+	return time.Now() // violation: wall-clock must flow through an injected clock
+}
+
+func (s *server) jobID() int {
+	return rand.Int() // violation: global math/rand in a determinism-scope package
+}

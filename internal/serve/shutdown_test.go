@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hyperx/internal/serve"
+)
+
+// TestGracefulShutdownDrainsRunningCancelsQueued is the drain contract:
+// on shutdown the running job completes (and persists its cells), the
+// queued job reports cancelled, new submissions are refused, and a
+// restart against the same checkpoint directory serves the finished
+// experiment entirely from the store — the same bytes, zero computes.
+func TestGracefulShutdownDrainsRunningCancelsQueued(t *testing.T) {
+	dir := t.TempDir()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, ts := service(t, dir, func(o *serve.Options) {
+		o.Executors = 1
+		o.BeforeRun = func(string) {
+			entered <- struct{}{}
+			<-release
+		}
+	})
+
+	running, code := submit(t, ts, sweepRequest())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit running job: status %d", code)
+	}
+	<-entered // the job is running, parked before its computation
+
+	queuedReq := sweepRequest()
+	queuedReq.Config.Seed = 7
+	queued, code := submit(t, ts, queuedReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued job: status %d", code)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(context.Background()) }()
+
+	// The queued job's cancellation happens during the drain; its event
+	// stream delivers the terminal state without polling.
+	if got := waitDone(t, ts, queued.ID); got != "cancelled" {
+		t.Fatalf("queued job state %q, want cancelled", got)
+	}
+	var qs serve.JobStatus
+	getJSON(t, ts, "/v1/jobs/"+queued.ID, &qs)
+	if !strings.Contains(qs.Error, "shutting down") {
+		t.Errorf("queued job error %q does not say why it was cancelled", qs.Error)
+	}
+	if code, _ := get(t, ts, "/v1/jobs/"+queued.ID+"/result.csv"); code != http.StatusGone {
+		t.Errorf("cancelled job result: status %d, want 410", code)
+	}
+
+	// Submissions during (and after) the drain are refused.
+	late := sweepRequest()
+	late.Config.Seed = 11
+	if _, code := submit(t, ts, late); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", code)
+	}
+
+	close(release) // unpark the running job; the drain completes with it
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := waitDone(t, ts, running.ID); got != "done" {
+		t.Fatalf("running job state %q after drain, want done", got)
+	}
+	code, firstCSV := get(t, ts, "/v1/jobs/"+running.ID+"/result.csv")
+	if code != http.StatusOK {
+		t.Fatalf("drained job result: status %d", code)
+	}
+
+	// Restart against the same directory: the same submission is a new
+	// job in a fresh registry (same content-addressed ID), but every
+	// cell replays out of the store — no computation, provenance says
+	// cached.
+	_, ts2 := service(t, dir, nil)
+	resub, code := submit(t, ts2, sweepRequest())
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit after restart: status %d", code)
+	}
+	if resub.ID != running.ID {
+		t.Errorf("restarted job ID %s, want the content-addressed %s", resub.ID, running.ID)
+	}
+	if got := waitDone(t, ts2, resub.ID); got != "done" {
+		t.Fatalf("restarted job state %q, want done", got)
+	}
+	code, secondCSV := get(t, ts2, "/v1/jobs/"+resub.ID+"/result.csv")
+	if code != http.StatusOK {
+		t.Fatalf("restarted result: status %d", code)
+	}
+	if !bytes.Equal(firstCSV, secondCSV) {
+		t.Errorf("cache-served CSV differs from the computed one:\nfirst:\n%s\nsecond:\n%s", firstCSV, secondCSV)
+	}
+
+	var res serve.ResultJSON
+	getJSON(t, ts2, "/v1/jobs/"+resub.ID+"/result.json", &res)
+	if res.Manifest == nil || res.Manifest.Provenance == nil {
+		t.Fatal("restarted result has no provenance")
+	}
+	prov := res.Manifest.Provenance
+	if prov.CachedJobs != len(res.Manifest.Jobs) || prov.CachedJobs != 4 {
+		t.Errorf("provenance cached_jobs = %d of %d, want all 4 served from cache", prov.CachedJobs, len(res.Manifest.Jobs))
+	}
+	if prov.ResumedFrom != dir {
+		t.Errorf("provenance resumed_from = %q, want %q", prov.ResumedFrom, dir)
+	}
+
+	var stats serve.CacheStatsBody
+	getJSON(t, ts2, "/v1/cache/stats", &stats)
+	if stats.Flight.Computes != 0 {
+		t.Errorf("restarted server computed %d cells, want 0 (all from store)", stats.Flight.Computes)
+	}
+	if stats.Store == nil || stats.Store.Hits != 4 {
+		t.Errorf("restarted store stats = %+v, want 4 hits", stats.Store)
+	}
+}
+
+// TestShutdownIdempotentAndEmpty: shutting down an idle server returns
+// immediately, and a second Shutdown is a no-op rather than a panic on
+// a closed queue.
+func TestShutdownIdempotentAndEmpty(t *testing.T) {
+	srv, err := serve.New(serve.Options{Now: newClock().Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"hyperx/internal/serve"
+)
+
+// TestConcurrentIdenticalSubmissionsComputeOnce is the stampede
+// acceptance test: N goroutines submit the same config at once, exactly
+// one computation runs (the registry collapses them to one job; the
+// compute counter stays at the job's cell count), and every client
+// reads the same bytes.
+func TestConcurrentIdenticalSubmissionsComputeOnce(t *testing.T) {
+	const n = 8
+	_, ts := service(t, t.TempDir(), nil)
+	body, err := json.Marshal(sweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var st serve.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i], codes[i] = st.ID, resp.StatusCode
+		}()
+	}
+	wg.Wait()
+
+	accepted := 0
+	for i := 0; i < n; i++ {
+		switch codes[i] {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusOK:
+		default:
+			t.Fatalf("submission %d: status %d", i, codes[i])
+		}
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d got job %s, submission 0 got %s — identical configs must share a job", i, ids[i], ids[0])
+		}
+	}
+	if accepted != 1 {
+		t.Errorf("%d submissions created a job, want exactly 1", accepted)
+	}
+
+	if got := waitDone(t, ts, ids[0]); got != "done" {
+		t.Fatalf("job state %q, want done", got)
+	}
+
+	// Every client reads the same bytes, concurrently.
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, csv := get(t, ts, "/v1/jobs/"+ids[0]+"/result.csv")
+			if code != http.StatusOK {
+				t.Errorf("reader %d: status %d", i, code)
+			}
+			results[i] = csv
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("reader %d saw different bytes than reader 0", i)
+		}
+	}
+
+	// Exactly one computation per cell: 2 algorithms x 2 loads = 4
+	// computes, 4 store saves, no sharing needed (one job ran), one job
+	// in the registry.
+	var stats serve.CacheStatsBody
+	getJSON(t, ts, "/v1/cache/stats", &stats)
+	if stats.Flight.Computes != 4 {
+		t.Errorf("flight computes = %d, want 4 (one per cell)", stats.Flight.Computes)
+	}
+	if stats.Store == nil || stats.Store.Saves != 4 {
+		t.Errorf("store stats = %+v, want 4 saves", stats.Store)
+	}
+	if stats.Jobs.Done != 1 || stats.Jobs.Queued+stats.Jobs.Running+stats.Jobs.Failed+stats.Jobs.Cancelled != 0 {
+		t.Errorf("registry = %+v, want exactly one done job", stats.Jobs)
+	}
+}
+
+// TestOverlappingJobsComputeSharedCellsOnce: two different jobs that
+// share cells (both sweep DOR, plus one private algorithm each) run
+// concurrently, and each distinct cell is computed exactly once —
+// served to the other job by the singleflight group or the store,
+// whichever its timing hits.
+func TestOverlappingJobsComputeSharedCellsOnce(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	_, ts := service(t, t.TempDir(), func(o *serve.Options) {
+		o.Executors = 2
+		o.BeforeRun = func(string) {
+			entered <- struct{}{}
+			<-release
+		}
+	})
+
+	a := sweepRequest()
+	a.Algorithms = []string{"DOR", "DimWAR"}
+	b := sweepRequest()
+	b.Algorithms = []string{"DOR", "VAL"}
+
+	aSt, code := submit(t, ts, a)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit a: status %d", code)
+	}
+	bSt, code := submit(t, ts, b)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit b: status %d", code)
+	}
+	if aSt.ID == bSt.ID {
+		t.Fatalf("different experiments share job %s", aSt.ID)
+	}
+	<-entered // both jobs are running before either computes a cell,
+	<-entered // so their DOR cells genuinely overlap
+	close(release)
+
+	for _, id := range []string{aSt.ID, bSt.ID} {
+		if got := waitDone(t, ts, id); got != "done" {
+			t.Fatalf("job %s: state %q, want done", id, got)
+		}
+	}
+
+	// 3 distinct algorithms x 2 loads = 6 distinct cells across 8
+	// requested: exactly 6 computes and 6 saves, in every interleaving
+	// (the two DOR cells reach the second job via flight sharing or a
+	// store hit, never a recompute).
+	var stats serve.CacheStatsBody
+	getJSON(t, ts, "/v1/cache/stats", &stats)
+	if stats.Flight.Computes != 6 {
+		t.Errorf("flight computes = %d, want 6 (one per distinct cell)", stats.Flight.Computes)
+	}
+	if stats.Store == nil || stats.Store.Saves != 6 {
+		t.Errorf("store stats = %+v, want 6 saves", stats.Store)
+	}
+	if total := stats.Flight.Shared + stats.Store.Hits; total != 2 {
+		t.Errorf("shared(%d) + store hits(%d) = %d, want 2 (the overlapping DOR cells)", stats.Flight.Shared, stats.Store.Hits, total)
+	}
+}

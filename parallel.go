@@ -37,6 +37,24 @@ type SweepOpts struct {
 	// and still emits a byte-identical CSV. The manifest marks served
 	// jobs as cached and records the directory in its provenance block.
 	CheckpointDir string
+
+	// Store, when non-nil, is used instead of opening CheckpointDir —
+	// the sweep service passes its long-lived store here so cache-access
+	// counters aggregate across every job the daemon runs.
+	Store *CheckpointStore
+
+	// Flight, when non-nil, deduplicates concurrent identical cell
+	// computations across sweeps sharing the group: each cell's
+	// compute-and-save runs under its checkpoint key, so two overlapping
+	// service jobs submitted simultaneously simulate every shared cell
+	// exactly once. Jobs served by another sweep's in-flight computation
+	// are marked cached in the manifest, like store hits.
+	Flight *harness.Flight
+
+	// OnEvent, when non-nil, receives a structured progress event per
+	// resolved job — what the service streams to clients. See
+	// harness.Event.
+	OnEvent func(harness.Event)
 }
 
 // stampFaults records the fault set a Config implies on the manifest, so
@@ -53,13 +71,34 @@ func stampFaults(cfg Config, m *Manifest) {
 	}
 }
 
-// openSweepStore opens the checkpoint store a SweepOpts asks for, or
-// returns nil when checkpointing is off.
+// openSweepStore opens the checkpoint store a SweepOpts asks for — a
+// shared instance takes precedence over a directory path — or returns
+// nil when checkpointing is off.
 func openSweepStore(po SweepOpts) (*CheckpointStore, error) {
+	if po.Store != nil {
+		return po.Store, nil
+	}
 	if po.CheckpointDir == "" {
 		return nil, nil
 	}
 	return OpenCheckpointDir(po.CheckpointDir)
+}
+
+// runCell funnels one cell's compute-and-save through the sweep's
+// singleflight group when one is configured; shared reports that the
+// value came from a concurrent identical computation in another sweep
+// (callers mark such jobs cached). Without a group it just computes.
+func runCell[T any](fl *harness.Flight, key string, compute func() (T, error)) (rec T, shared bool, err error) {
+	if fl == nil {
+		rec, err = compute()
+		return rec, false, err
+	}
+	v, shared, err := fl.Do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	return v.(T), shared, nil
 }
 
 // stampProvenance fills the manifest's provenance block: the execution
@@ -139,27 +178,34 @@ func runLoadSweepForked(ctx context.Context, cfg Config, patterns, algs []string
 						}, nil
 					}
 				}
-				pts, st, err := runCurveWarmFork(jctx, ccfg, id.pat, loads, opts, fk)
+				rec, shared, err := runCell(po.Flight, key, func() (curveRecord, error) {
+					pts, st, err := runCurveWarmFork(jctx, ccfg, id.pat, loads, opts, fk)
+					if err != nil {
+						return curveRecord{}, err
+					}
+					if store != nil {
+						if err := store.Save(key, curveRecord{Points: pts, Stats: st}); err != nil {
+							return curveRecord{}, err
+						}
+					}
+					return curveRecord{Points: pts, Stats: st}, nil
+				})
 				if err != nil {
 					return harness.Outcome{}, err
 				}
-				if store != nil {
-					if err := store.Save(key, curveRecord{Points: pts, Stats: st}); err != nil {
-						return harness.Outcome{}, err
-					}
-				}
 				return harness.Outcome{
-					Cycles:    st.Cycles,
-					Events:    st.Events,
-					Delivered: st.Delivered,
-					Dropped:   st.Dropped,
-					Value:     pts,
+					Cached:    shared,
+					Cycles:    rec.Stats.Cycles,
+					Events:    rec.Stats.Events,
+					Delivered: rec.Stats.Delivered,
+					Dropped:   rec.Stats.Dropped,
+					Value:     rec.Points,
 				}, nil
 			},
 		})
 	}
 
-	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress, OnEvent: po.OnEvent})
 	if rr != nil {
 		stampFaults(cfg, rr.Manifest)
 		stampProvenance(rr.Manifest, mode, cfg, &fk, store, rr)
@@ -248,22 +294,29 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 							}, nil
 						}
 					}
-					pt, st, err := runLoadPointCtx(jctx, ccfg, id.pat, load, opts)
+					rec, shared, err := runCell(po.Flight, key, func() (pointRecord, error) {
+						pt, st, err := runLoadPointCtx(jctx, ccfg, id.pat, load, opts)
+						if err != nil {
+							return pointRecord{}, err
+						}
+						if store != nil {
+							if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
+								return pointRecord{}, err
+							}
+						}
+						return pointRecord{Point: pt, Stats: st}, nil
+					})
 					if err != nil {
 						return harness.Outcome{}, err
 					}
-					if store != nil {
-						if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
-							return harness.Outcome{}, err
-						}
-					}
 					return harness.Outcome{
-						Saturated: pt.Saturated,
-						Cycles:    st.Cycles,
-						Events:    st.Events,
-						Delivered: st.Delivered,
-						Dropped:   st.Dropped,
-						Value:     pt,
+						Saturated: rec.Point.Saturated,
+						Cached:    shared,
+						Cycles:    rec.Stats.Cycles,
+						Events:    rec.Stats.Events,
+						Delivered: rec.Stats.Delivered,
+						Dropped:   rec.Stats.Dropped,
+						Value:     rec.Point,
 					}, nil
 				},
 			})
@@ -275,6 +328,7 @@ func RunLoadSweepParallel(ctx context.Context, cfg Config, patterns, algs []stri
 		Workers:   po.Workers,
 		EarlyStop: true,
 		Progress:  po.Progress,
+		OnEvent:   po.OnEvent,
 	})
 	if rr != nil {
 		stampFaults(cfg, rr.Manifest)
@@ -366,28 +420,35 @@ func RunThroughputGrid(ctx context.Context, cfg Config, patterns, algs []string,
 							}, nil
 						}
 					}
-					th, st, err := runThroughputCtx(jctx, ccfg, pat, opts)
+					rec, shared, err := runCell(po.Flight, key, func() (thptRecord, error) {
+						th, st, err := runThroughputCtx(jctx, ccfg, pat, opts)
+						if err != nil {
+							return thptRecord{}, err
+						}
+						if store != nil {
+							if err := store.Save(key, thptRecord{Value: th, Stats: st}); err != nil {
+								return thptRecord{}, err
+							}
+						}
+						return thptRecord{Value: th, Stats: st}, nil
+					})
 					if err != nil {
 						return harness.Outcome{}, err
 					}
-					if store != nil {
-						if err := store.Save(key, thptRecord{Value: th, Stats: st}); err != nil {
-							return harness.Outcome{}, err
-						}
-					}
 					return harness.Outcome{
-						Cycles:    st.Cycles,
-						Events:    st.Events,
-						Delivered: st.Delivered,
-						Dropped:   st.Dropped,
-						Value:     th,
+						Cached:    shared,
+						Cycles:    rec.Stats.Cycles,
+						Events:    rec.Stats.Events,
+						Delivered: rec.Stats.Delivered,
+						Dropped:   rec.Stats.Dropped,
+						Value:     rec.Value,
 					}, nil
 				},
 			})
 		}
 	}
 
-	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress, OnEvent: po.OnEvent})
 	if rr != nil {
 		stampFaults(cfg, rr.Manifest)
 		stampProvenance(rr.Manifest, "cold", cfg, nil, store, rr)
@@ -518,29 +579,36 @@ func RunResilienceSweep(ctx context.Context, cfg Config, patternName string, alg
 							}, nil
 						}
 					}
-					pt, st, err := runLoadPointCtx(jctx, ccfg, patternName, load, opts)
+					rec, shared, err := runCell(po.Flight, key, func() (pointRecord, error) {
+						pt, st, err := runLoadPointCtx(jctx, ccfg, patternName, load, opts)
+						if err != nil {
+							return pointRecord{}, err
+						}
+						if store != nil {
+							if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
+								return pointRecord{}, err
+							}
+						}
+						return pointRecord{Point: pt, Stats: st}, nil
+					})
 					if err != nil {
 						return harness.Outcome{}, err
 					}
-					if store != nil {
-						if err := store.Save(key, pointRecord{Point: pt, Stats: st}); err != nil {
-							return harness.Outcome{}, err
-						}
-					}
 					return harness.Outcome{
-						Saturated: pt.Saturated,
-						Cycles:    st.Cycles,
-						Events:    st.Events,
-						Delivered: st.Delivered,
-						Dropped:   st.Dropped,
-						Value:     pt,
+						Saturated: rec.Point.Saturated,
+						Cached:    shared,
+						Cycles:    rec.Stats.Cycles,
+						Events:    rec.Stats.Events,
+						Delivered: rec.Stats.Delivered,
+						Dropped:   rec.Stats.Dropped,
+						Value:     rec.Point,
 					}, nil
 				},
 			})
 		}
 	}
 
-	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress})
+	rr, err := harness.Run(ctx, jobs, harness.Options{Workers: po.Workers, Progress: po.Progress, OnEvent: po.OnEvent})
 	if rr != nil {
 		// The manifest records the largest injected fault set: stamp it
 		// through the same helper every other sweep uses (deterministic in
