@@ -95,18 +95,24 @@ ckptsmoke:
 		{ echo "FAIL: manifest provenance missing the fork mode"; exit 1; }
 	@echo ckptsmoke OK
 
-# Sharded-executor smoke: the same sweep serial and with every simulation
-# split across 4 shards must emit byte-identical CSVs — the end-to-end
-# form of the golden-trace shards-vs-serial equivalence claim. (The -race
-# pass over the executor itself lives in the race target: `go test -race
-# ./internal/...` covers internal/shard, and `-race -short .` runs the
-# root-package sharded determinism tests.)
+# Sharded-executor smoke: the same sweep serial, with every simulation
+# split across 4 shards at the default barrier window, and again at the
+# widest legal window (50, the cross-shard latency cap) must emit
+# byte-identical CSVs — the end-to-end form of the golden-trace
+# shards-vs-serial equivalence claim, covering both barrier frequencies.
+# (The -race pass over the executor itself lives in the race target:
+# `go test -race ./internal/...` covers internal/shard including the
+# work-stealing deques, and `-race -short .` runs the root-package
+# sharded determinism tests.)
 shardsmoke:
 	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR -step 0.25 \
 		-warmup 1000 -window 1000 -j 2 -q > /tmp/hx-shard-serial.csv
 	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR -step 0.25 \
 		-warmup 1000 -window 1000 -j 2 -q -shards 4 > /tmp/hx-shard-4.csv
 	cmp /tmp/hx-shard-serial.csv /tmp/hx-shard-4.csv
+	$(GO) run ./cmd/hxsweep -pattern UR -algs DOR,DimWAR -step 0.25 \
+		-warmup 1000 -window 1000 -j 2 -q -shards 4 -shard-window 50 > /tmp/hx-shard-4w50.csv
+	cmp /tmp/hx-shard-serial.csv /tmp/hx-shard-4w50.csv
 	@echo shardsmoke OK
 
 # Sweep-service smoke (scripts/servesmoke.sh): boot hxserved on a random

@@ -137,8 +137,13 @@ func main() {
 
 // checkGate enforces the regression floor: every benchmark that has a
 // baseline counterpart must retain at least gate of the baseline's
-// events/sec. The report is written before the check runs, so a gate
-// failure still leaves the measurement on disk for diagnosis.
+// events/sec, and every benchmark that REPORTS an events/sec metric must
+// have a baseline counterpart — a benchmark silently absent from the
+// baseline would otherwise pass the gate forever, unfloored. Benchmarks
+// without the metric (the footprint benchmark reports bytes/terminal
+// only) are exempt from both checks. The report is written before the
+// check runs, so a gate failure still leaves the measurement on disk for
+// diagnosis.
 func checkGate(rep *report, gate float64) {
 	if gate <= 0 || rep.Baseline == nil {
 		return
@@ -146,7 +151,12 @@ func checkGate(rep *report, gate float64) {
 	failed := false
 	for _, rec := range rep.Benchmarks {
 		if rec.EventsPerSecSpeedup == 0 {
-			continue // no baseline entry (new benchmark) or no events metric
+			if rec.EventsPerSec > 0 {
+				fmt.Fprintf(os.Stderr, "hxbench: GATE FAIL %s: reports events/sec but has no baseline entry; add one to the baseline file\n",
+					rec.Name)
+				failed = true
+			}
+			continue // no events metric: nothing to floor
 		}
 		if rec.EventsPerSecSpeedup < gate {
 			fmt.Fprintf(os.Stderr, "hxbench: GATE FAIL %s: %.3fx baseline events/sec (floor %.2fx)\n",

@@ -24,6 +24,7 @@
 //	hxsweep -pattern UR -faults 4 -manifest run.json  # sweep with 4 dead links
 //	hxsweep -resilience 6 -load 0.5                   # degradation vs fault count
 //	hxsweep -pattern UR -shards 4                     # sharded executor, same CSV bytes
+//	hxsweep -pattern UR -shards 4 -shard-window 50    # widest barrier window, same CSV bytes
 package main
 
 import (
@@ -53,6 +54,7 @@ func main() {
 		load       = flag.Float64("load", 0.5, "fixed offered load for -resilience")
 		jobs       = flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS); results are identical at any -j")
 		shards     = flag.Int("shards", 0, "cores per simulation via the deterministic sharded executor (0/1 = serial); results are bit-identical at any -shards")
+		shardWin   = flag.Int("shard-window", 0, "sharded executor barrier window width in cycles (0 = derive from latencies; clamped to the cross-shard latency); results are bit-identical at any width")
 		manifest   = flag.String("manifest", "", "write a JSON run manifest (per-job wall time, cycles, events/sec) to this file")
 		quiet      = flag.Bool("q", false, "suppress the per-job progress lines on stderr")
 		warmfork   = flag.Bool("warmfork", false, "fork each curve's load points from one shared pristine snapshot (bit-identical CSV, one network build per curve)")
@@ -70,7 +72,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Faults = *faults
 	cfg.FaultSeed = *faultseed
-	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window, Shards: *shards}
+	opts := hyperx.RunOpts{Warmup: *warmup, Window: *window, Shards: *shards, ShardWindow: *shardWin}
 	algList := split(*algs)
 	po := hyperx.SweepOpts{Workers: *jobs, CheckpointDir: *ckptDir}
 	if !*quiet {

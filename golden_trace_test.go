@@ -48,10 +48,12 @@ type traceGolden struct {
 
 // runTraced executes the fixed tiny-network scenario for one algorithm and
 // returns its fingerprint. shards <= 1 runs the historical serial kernel
-// loop; shards > 1 runs the same scenario through the barrier-synchronized
-// sharded executor, which must produce the identical fingerprint (counts
-// beyond the 4 routers clamp, so shards=8 exercises the clamp path).
-func runTraced(t *testing.T, alg string, shards int) traceGolden {
+// loop; shards > 1 runs the same scenario through the window-barrier
+// sharded executor at the given window width, which must produce the
+// identical fingerprint (counts beyond the 4 routers clamp, so shards=8
+// exercises the clamp path; window=1 is the per-cycle barrier, wider
+// windows exercise in-window local execution and the batched merge).
+func runTraced(t *testing.T, alg string, shards, window int) traceGolden {
 	t.Helper()
 	inst, err := Build(Config{Widths: []int{2, 2}, Terms: 2, Algorithm: alg, Seed: 1})
 	if err != nil {
@@ -80,7 +82,8 @@ func runTraced(t *testing.T, alg string, shards int) traceGolden {
 	}
 	gen.Start(inst.Cfg.Seed)
 	if shards > 1 {
-		if _, err := inst.runCtx(context.Background(), traceRunUntil, shards); err != nil {
+		defer inst.Close()
+		if _, err := inst.runCtx(context.Background(), traceRunUntil, shards, window); err != nil {
 			t.Fatal(err)
 		}
 	} else {
@@ -123,7 +126,7 @@ func TestGoldenTrace(t *testing.T) {
 	if *updateGolden {
 		var all []traceGolden
 		for _, alg := range goldenTraceAlgs {
-			all = append(all, runTraced(t, alg, 1))
+			all = append(all, runTraced(t, alg, 1, 1))
 		}
 		data, err := json.MarshalIndent(all, "", "  ")
 		if err != nil {
@@ -150,33 +153,40 @@ func TestGoldenTrace(t *testing.T) {
 	if len(want) != len(goldenTraceAlgs) {
 		t.Fatalf("golden file has %d entries, want %d", len(want), len(goldenTraceAlgs))
 	}
-	// Every shard count must reproduce the serial golden bit-for-bit: the
-	// sharded executor's contract is an identical executed-event sequence,
-	// so there is exactly one golden fingerprint per algorithm.
+	// Every shard count and window width must reproduce the serial golden
+	// bit-for-bit: the sharded executor's contract is an identical
+	// executed-event sequence, so there is exactly one golden fingerprint
+	// per algorithm. Window 1 is the per-cycle barrier, 5 the derived
+	// default (min configured latency), 50 the cross-shard latency cap.
 	for i, alg := range goldenTraceAlgs {
 		alg, want := alg, want[i]
 		t.Run(alg, func(t *testing.T) {
 			for _, nsh := range []int{1, 2, 4, 8} {
-				nsh := nsh
-				t.Run(fmt.Sprintf("shards=%d", nsh), func(t *testing.T) {
-					got := runTraced(t, alg, nsh)
-					if got.Hash == want.Hash && got.Events == want.Events {
-						return
+				for _, win := range []int{1, 5, 50} {
+					if nsh == 1 && win != 1 {
+						continue // serial path has no window
 					}
-					// Locate the first divergent event for the failure message.
-					n := len(got.Prefix)
-					if len(want.Prefix) < n {
-						n = len(want.Prefix)
-					}
-					for j := 0; j < n; j++ {
-						if got.Prefix[j] != want.Prefix[j] {
-							t.Fatalf("event stream diverges at executed event %d: got (t=%d seq=%d), golden (t=%d seq=%d)",
-								j, got.Prefix[j][0], got.Prefix[j][1], want.Prefix[j][0], want.Prefix[j][1])
+					nsh, win := nsh, win
+					t.Run(fmt.Sprintf("shards=%d,window=%d", nsh, win), func(t *testing.T) {
+						got := runTraced(t, alg, nsh, win)
+						if got.Hash == want.Hash && got.Events == want.Events {
+							return
 						}
-					}
-					t.Fatalf("trace hash mismatch beyond the %d-event prefix: got hash=%#x events=%d, golden hash=%#x events=%d",
-						n, got.Hash, got.Events, want.Hash, want.Events)
-				})
+						// Locate the first divergent event for the failure message.
+						n := len(got.Prefix)
+						if len(want.Prefix) < n {
+							n = len(want.Prefix)
+						}
+						for j := 0; j < n; j++ {
+							if got.Prefix[j] != want.Prefix[j] {
+								t.Fatalf("event stream diverges at executed event %d: got (t=%d seq=%d), golden (t=%d seq=%d)",
+									j, got.Prefix[j][0], got.Prefix[j][1], want.Prefix[j][0], want.Prefix[j][1])
+							}
+						}
+						t.Fatalf("trace hash mismatch beyond the %d-event prefix: got hash=%#x events=%d, golden hash=%#x events=%d",
+							n, got.Hash, got.Events, want.Hash, want.Events)
+					})
+				}
 			}
 		})
 	}

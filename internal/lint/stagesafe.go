@@ -19,9 +19,11 @@ import (
 //
 // The pass mechanizes that contract:
 //
-//   - Roots: every Act or Execute method declared in a determinism-scope
-//     package (the sim.Actor entry points the kernel and the shard
-//     executor dispatch into).
+//   - Roots: every Act, Execute, or Record method declared in a
+//     determinism-scope package (Act/Execute are the sim.Actor entry
+//     points the kernel and the shard executor dispatch into; Record is
+//     the sim.Recorder entry point Stage.RunWindow invokes on the
+//     parallel phase after every in-window event).
 //   - Graph: call edges between module functions, resolved through
 //     go/types and keyed by (package, receiver, name) so edges cross
 //     package boundaries. An edge taken only inside a serial-guarded
@@ -163,7 +165,7 @@ func (a *ssAnalysis) indexFuncs(p *pkgUnit) {
 			fn := &ssFunc{
 				key:  funcKey(p.rel, recvName(fd), fd.Name.Name),
 				unit: p,
-				root: fd.Recv != nil && (fd.Name.Name == "Act" || fd.Name.Name == "Execute"),
+				root: fd.Recv != nil && (fd.Name.Name == "Act" || fd.Name.Name == "Execute" || fd.Name.Name == "Record"),
 			}
 			a.block(p, fn, fd.Body.List, false)
 			a.funcs[fn.key] = fn

@@ -72,3 +72,10 @@ func (n *Network) merge(sc *ShardState) {
 		n.Dropped++ // ShardState nil-check guard: exempt even when reached
 	}
 }
+
+// Record is the sim.Recorder entry point Stage.RunWindow invokes per
+// in-window event on the parallel phase: it is a root exactly like Act,
+// so an unstaged mutation reachable from it must be flagged.
+func (n *Network) Record(at sim.Time, seq uint64, ev *sim.Event) {
+	n.Delivered++ // violation: unstaged counter on the Record path
+}

@@ -129,9 +129,19 @@ func (r *Router) schedAt(t sim.Time, act sim.Actor, op uint8, a, b, c int32, p a
 	return r.net.K.AtAct(t, act, op, a, b, c, p)
 }
 
-// schedAfter is schedAt relative to the current cycle.
+// schedAfter is schedAt relative to the executing event's time.
 func (r *Router) schedAfter(d sim.Time, act sim.Actor, op uint8, a, b, c int32, p any) *sim.Event {
-	return r.schedAt(r.net.K.Now()+d, act, op, a, b, c, p)
+	return r.schedAt(r.now()+d, act, op, a, b, c, p)
+}
+
+// now returns the model clock: during a parallel phase the shard stage's
+// clock, which tracks the event executing on this shard (the kernel
+// clock is frozen at the window start then), the kernel clock otherwise.
+func (r *Router) now() sim.Time {
+	if r.net.sharded {
+		return r.sc.Stage.Now()
+	}
+	return r.net.K.Now()
 }
 
 // Act implements sim.Actor: the typed-event entry point for all router
@@ -143,9 +153,9 @@ func (r *Router) Act(op uint8, a, b, c int32, p any) {
 	case opAttempt:
 		port := int(a)
 		o := &r.out[port]
-		// The event fires exactly at its scheduled time, so Now() is the
+		// The event fires exactly at its scheduled time, so now() is the
 		// `t` this attempt was deduplicated under.
-		if o.attemptAt == r.net.K.Now() {
+		if o.attemptAt == r.now() {
 			o.attemptAt = 0
 		}
 		r.attempt(port)
@@ -293,7 +303,7 @@ func (v *view) PortAlive(port int) bool {
 }
 
 func (r *Router) residual(o *outputPort) int {
-	if d := o.busyUntil - r.net.K.Now(); d > 0 {
+	if d := o.busyUntil - r.now(); d > 0 {
 		return int(d)
 	}
 	return 0
@@ -418,11 +428,11 @@ func (r *Router) drop(port int, vc int8) {
 	ip := &r.in[port]
 	if ip.fromTerminal >= 0 {
 		term := n.Terminals[ip.fromTerminal]
-		r.schedAt(n.K.Now()+ip.upLat, term, opTermCredit, int32(vc), int32(flits), 0, nil)
+		r.schedAt(r.now()+ip.upLat, term, opTermCredit, int32(vc), int32(flits), 0, nil)
 	} else {
 		up := n.Routers[ip.peerRouter]
 		upPort := ip.peerPort
-		r.schedAt(n.K.Now()+ip.upLat, up, opCredit, int32(upPort), int32(vc), int32(flits), nil)
+		r.schedAt(r.now()+ip.upLat, up, opCredit, int32(upPort), int32(vc), int32(flits), nil)
 	}
 	if !n.sharded {
 		n.freePacket(p)
@@ -457,7 +467,7 @@ func (r *Router) pickVC(o *outputPort, class int8, flits int) int8 {
 // eligible waiter (age-based arbitration).
 func (r *Router) attempt(port int) {
 	o := &r.out[port]
-	now := r.net.K.Now()
+	now := r.now()
 	if o.busyUntil > now {
 		r.scheduleAttempt(port, o.busyUntil)
 		return
@@ -511,8 +521,7 @@ func (r *Router) scheduleAttempt(port int, t sim.Time) {
 // channel, reserving downstream space and returning upstream credits as
 // the flits drain.
 func (r *Router) grant(o *outputPort, w *waiter, vc int8) {
-	k := r.net.K
-	now := k.Now()
+	now := r.now()
 	// Copy the fields needed past unregister: the waiter goes back to the
 	// pool and may be reissued by the routeHead call below.
 	inPort, inVC, cand := w.inPort, w.inVC, w.cand

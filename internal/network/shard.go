@@ -6,12 +6,14 @@
 // Routers are partitioned into contiguous index blocks, one block per
 // shard; a terminal belongs to its router's shard, and every typed event
 // in the model resolves to the single shard whose slab state its callback
-// touches (sim.Sharded). During a cycle's parallel phase each shard
-// executes its slice of the cycle's events strictly in sequence order,
-// with all globally-visible work — schedule calls, aggregate counters,
-// observer callbacks, packet-ID assignment, packet frees — staged into
+// touches (sim.Sharded). During a window's parallel phase each shard
+// executes its slice of the window's events strictly in serial (time,
+// seq) order — including events its own callbacks schedule back inside
+// the window, which sim.Stage.RunWindow interleaves locally — with all
+// globally-visible work (schedule calls, aggregate counters, observer
+// callbacks, packet-ID assignment, packet frees) staged into
 // shard-private logs instead of applied. The single-threaded merge then
-// replays the logs in global sequence order, so sequence-number
+// replays the logs in global (time, seq) order, so sequence-number
 // assignment, counter updates, and observer call order are bit-identical
 // to a serial run.
 //
@@ -26,16 +28,24 @@
 //     the terminal's own events and by the generator's injection event
 //     for that terminal — both map to the terminal's router's shard.
 //   - Packets: a packet is owned by exactly one queue or in-flight event
-//     at a time; every handoff crosses at least the terminal channel
-//     latency, so no two same-cycle events touch the same packet.
-//   - Kernel: the parallel phase only reads K.Now() (pinned for the
-//     cycle). Kernel.Cancel writes only the cancelled event's dead flag,
-//     and the model cancels only its own router's reroute timer —
-//     same-shard by construction. Drained events stay cancellable until
-//     they are executed or recycled (queued clears at recycle, not at
-//     drain), so a cancel aimed at a later-seq event of the same cycle
-//     lands under sharding exactly as it does serially, where the
-//     target would still be sitting in the calendar.
+//     at a time. A handoff that stays on the shard (terminal-to-router
+//     injection, local arbitration) is ordered by the shard's own serial
+//     execution; a handoff that crosses shards is a router-to-router
+//     schedule, and every one of those crosses at least RouterChanLat
+//     cycles — the executor caps the window width at the minimum
+//     cross-shard latency, so a packet's cross-router move always lands
+//     outside the window, where the merge re-partitions ownership. The
+//     ownership lemma is mechanized: Stage.AtAct panics on any
+//     cross-shard schedule landing inside its window.
+//   - Kernel: the parallel phase reads time only through the shard's
+//     Stage clock (pinned to the executing event). Kernel.Cancel writes
+//     only the cancelled event's dead flag, and the model cancels only
+//     its own router's reroute timer — same-shard by construction.
+//     Drained and in-window staged events stay cancellable until they
+//     are executed or recycled, and RunWindow reads deadness at
+//     processing time, so a cancel aimed at a later event of the same
+//     window lands under sharding exactly as it does serially, where
+//     the target would still be sitting in the calendar.
 //   - Everything else the phase reads (topology tables, algorithm state,
 //     Config, FaultSet, classVCs) is immutable during a run.
 package network
@@ -74,10 +84,16 @@ type effect struct {
 
 // execRec records one live event a shard executed: its trace identity and
 // the END offsets of its staged schedule calls and effects in the shard's
-// logs (the start offsets are the previous record's ends).
+// logs (the start offsets are the previous record's ends). A drained
+// event's (at, seq) are copied in (ev nil); an in-window staged event is
+// recorded by handle instead — its seq exists only after the merge's
+// replay reaches its staging record, which precedes this one in the same
+// shard's stream, so the seq is always assigned by the time the merge
+// reads it.
 type execRec struct {
 	at     sim.Time
 	seq    uint64
+	ev     *sim.Event
 	opsEnd int32
 	fxEnd  int32
 }
@@ -96,12 +112,22 @@ type ShardState struct {
 
 	fx    []effect
 	recs  []execRec
-	batch []*sim.Event // this shard's slice of the current cycle
+	batch []*sim.Event // this shard's slice of the current window
 
 	// merge cursors (coordinator-only)
 	cur    int
 	opsPos int32
 	fxPos  int32
+}
+
+// Record implements sim.Recorder: called by this shard's Stage.RunWindow
+// immediately after each live event's callback, it delimits the event's
+// staged schedule calls and effects in the shard-private logs. Everything
+// it touches is owned by the executing shard — the globally-visible
+// replay happens at the merge.
+func (sc *ShardState) Record(at sim.Time, seq uint64, ev *sim.Event) {
+	//hxlint:allow allocfree — the exec-record log grows to the shard's per-window high-water live-event count and is reset every merge
+	sc.recs = append(sc.recs, execRec{at: at, seq: seq, ev: ev, opsEnd: int32(sc.Stage.StagedLen()), fxEnd: int32(len(sc.fx))})
 }
 
 // stageFx appends a staged side effect.
@@ -155,7 +181,7 @@ func (n *Network) ConfigureShards(nsh int) error {
 	//hxlint:allow allocfree — configuration-time path: runs once per executor (re)build, never inside the event loop
 	n.shards = make([]*ShardState, nsh)
 	for s := range n.shards {
-		n.shards[s] = &ShardState{Stage: sim.NewStage(), net: n, idx: s}
+		n.shards[s] = &ShardState{Stage: sim.NewStage(s), net: n, idx: s}
 	}
 	for _, r := range n.Routers {
 		r.sc = n.shards[n.shardOfRouter(r.id)]
@@ -222,12 +248,17 @@ func (t *Terminal) ShardOf(_ uint8, _, _, _ int32, _ any) int {
 	return t.net.shardOfRouter(t.router)
 }
 
-// PartitionCycle distributes one drained cycle's events to their shards'
-// batch lists, preserving sequence order within each shard (the input is
-// globally sequence-sorted). It returns false — with every batch list
-// cleared — when any event cannot be sharded (a closure, or an actor
-// outside the model); the executor then runs that cycle serially.
-func (n *Network) PartitionCycle(batch []*sim.Event) bool {
+// PartitionWindow distributes one drained window's events to their
+// shards' batch lists, preserving (time, seq) order within each shard
+// (the input is globally (time, seq)-sorted), and opens every shard's
+// stage for the window ending (exclusive) at winEnd. It returns false —
+// with every batch list cleared — when any event cannot be sharded (a
+// closure, or an actor outside the model); the executor then requeues
+// the batch and falls back to serial execution.
+func (n *Network) PartitionWindow(batch []*sim.Event, winEnd sim.Time) bool {
+	for _, sc := range n.shards {
+		sc.Stage.StartWindow(winEnd)
+	}
 	for _, e := range batch {
 		s, ok := e.Shard()
 		if !ok {
@@ -237,7 +268,7 @@ func (n *Network) PartitionCycle(batch []*sim.Event) bool {
 			return false
 		}
 		sc := n.shards[s]
-		//hxlint:allow allocfree — the per-shard batch list grows to the shard's per-cycle high-water event count and is reset every cycle
+		//hxlint:allow allocfree — the per-shard batch list grows to the shard's per-window high-water event count and is reset every window
 		sc.batch = append(sc.batch, e)
 	}
 	return true
@@ -250,39 +281,32 @@ func clearBatch(sc *ShardState) {
 	sc.batch = sc.batch[:0]
 }
 
-// BatchLen reports how many of the current cycle's events shard s owns.
+// BatchLen reports how many of the current window's events shard s owns.
 func (n *Network) BatchLen(s int) int { return len(n.shards[s].batch) }
 
-// RunShard executes shard s's slice of the current cycle, in sequence
-// order, entirely against shard-private state: dead events are recycled
-// into the shard's event pool (the serial kernel recycles them unexecuted
-// too), live events run through the shard's Stage, and each live event's
-// staged-work end offsets are recorded for the merge.
+// RunShard executes shard s's slice of the current window, in serial
+// (time, seq) order, entirely against shard-private state: the shard's
+// Stage interleaves the drained batch with in-window staged events,
+// recycles dead ones (the serial kernel recycles them unexecuted too),
+// and reports each live event to Record above.
 func (n *Network) RunShard(s int) {
 	sc := n.shards[s]
-	sc.Stage.StartCycle(n.K.Now())
-	for _, e := range sc.batch {
-		if e.Dead() {
-			sc.Stage.Recycle(e)
-			continue
-		}
-		at, seq := e.At(), e.Seq()
-		sc.Stage.Exec(e)
-		//hxlint:allow allocfree — the exec-record log grows to the shard's per-cycle high-water live-event count and is reset every merge
-		sc.recs = append(sc.recs, execRec{at: at, seq: seq, opsEnd: int32(sc.Stage.StagedLen()), fxEnd: int32(len(sc.fx))})
-	}
+	sc.Stage.RunWindow(sc.batch, sc)
 	clearBatch(sc)
 }
 
-// MergeCycle replays the cycle's staged work into the kernel and the
-// network in global sequence order: a (nsh)-way merge over the shards'
-// execution records (each already sequence-sorted) drives, per executed
-// event, the trace hook, the injection of its staged schedule calls (this
-// is where sequence numbers are assigned, in exactly the serial order:
-// executing-event order crossed with within-callback program order), and
-// the replay of its staged side effects. Coordinator-only, between
-// parallel phases.
-func (n *Network) MergeCycle() {
+// MergeWindow replays the window's staged work into the kernel and the
+// network in global serial order: a (nsh)-way merge over the shards'
+// execution records (each already (time, seq)-sorted) drives, per
+// executed event, the clock, the trace hook, the injection of its staged
+// schedule calls (this is where sequence numbers are assigned, in
+// exactly the serial order: executing-event order crossed with
+// within-callback program order), and the replay of its staged side
+// effects. It returns whether the window's (time, seq)-maximal processed
+// event — live or dead — was dead, which the executor needs for the
+// serial until-overshoot quirk. Coordinator-only, between parallel
+// phases.
+func (n *Network) MergeWindow() (lastDead bool) {
 	k := n.K
 	for _, sc := range n.shards {
 		sc.cur, sc.opsPos, sc.fxPos = 0, 0, 0
@@ -290,12 +314,21 @@ func (n *Network) MergeCycle() {
 	var live uint64
 	for {
 		var pick *ShardState
+		var pickAt sim.Time
+		var pickSeq uint64
 		for _, sc := range n.shards {
 			if sc.cur >= len(sc.recs) {
 				continue
 			}
-			if pick == nil || sc.recs[sc.cur].seq < pick.recs[pick.cur].seq {
-				pick = sc
+			rec := &sc.recs[sc.cur]
+			at, seq := rec.at, rec.seq
+			if rec.ev != nil {
+				// Staged-exec record: its seq was assigned when the merge
+				// replayed its stager, earlier in this same shard's stream.
+				seq = rec.ev.Seq()
+			}
+			if pick == nil || at < pickAt || (at == pickAt && seq < pickSeq) {
+				pick, pickAt, pickSeq = sc, at, seq
 			}
 		}
 		if pick == nil {
@@ -304,31 +337,48 @@ func (n *Network) MergeCycle() {
 		rec := &pick.recs[pick.cur]
 		pick.cur++
 		live++
+		k.SetNow(pickAt)
 		if k.TraceExec != nil {
-			k.TraceExec(rec.at, rec.seq)
+			k.TraceExec(pickAt, pickSeq)
 		}
 		pick.Stage.ReplayOps(k, int(pick.opsPos), int(rec.opsEnd))
 		pick.opsPos = rec.opsEnd
-		n.replayFx(pick.fx[pick.fxPos:rec.fxEnd])
+		n.replayFx(pick.fx[pick.fxPos:rec.fxEnd], pickAt)
 		pick.fxPos = rec.fxEnd
 	}
 	k.AddExecuted(live)
+	var tailAt sim.Time
+	var tailSeq uint64
+	var has bool
+	for _, sc := range n.shards {
+		at, seq, dead, ok := sc.Stage.Tail()
+		if !ok {
+			continue
+		}
+		if !has || at > tailAt || (at == tailAt && seq > tailSeq) {
+			tailAt, tailSeq, lastDead, has = at, seq, dead, true
+		}
+	}
 	for _, sc := range n.shards {
 		sc.Stage.ResetOps()
 		for i := range sc.fx {
 			sc.fx[i] = effect{}
 		}
 		sc.fx = sc.fx[:0]
+		for i := range sc.recs {
+			sc.recs[i].ev = nil
+		}
 		sc.recs = sc.recs[:0]
 	}
 	n.rebalanceStages()
+	return lastDead
 }
 
 // replayFx applies one event's staged side effects in program order.
-// Runs at the merge, single-threaded, with the kernel clock still at the
-// cycle's time, so observer callbacks see exactly the serial timestamps.
-func (n *Network) replayFx(fx []effect) {
-	now := n.K.Now()
+// Runs at the merge, single-threaded, with the clock argument carrying
+// the event's execution time, so observer callbacks see exactly the
+// serial timestamps.
+func (n *Network) replayFx(fx []effect, now sim.Time) {
 	for i := range fx {
 		f := &fx[i]
 		switch f.kind {

@@ -39,6 +39,14 @@ func (t *Terminal) schedAt(at sim.Time, act sim.Actor, op uint8, a, b, c int32, 
 	return t.net.K.AtAct(at, act, op, a, b, c, p)
 }
 
+// now returns the model clock (see Router.now).
+func (t *Terminal) now() sim.Time {
+	if t.net.sharded {
+		return t.sc.Stage.Now()
+	}
+	return t.net.K.Now()
+}
+
 // initTerminal wires a slab-allocated Terminal in place; credits is the
 // terminal's subslice of the network-level credit slab.
 func initTerminal(t *Terminal, n *Network, id int, credits []int32) {
@@ -56,9 +64,9 @@ func (t *Terminal) ID() int { return t.id }
 func (t *Terminal) Act(op uint8, a, b, _ int32, _ any) {
 	switch op {
 	case opTermRetry:
-		// The event fires exactly at its scheduled time, so Now() is the
+		// The event fires exactly at its scheduled time, so now() is the
 		// `at` this retry was deduplicated under.
-		if t.retryAt == t.net.K.Now() {
+		if t.retryAt == t.now() {
 			t.retryAt = 0
 		}
 		t.tryInject()
@@ -73,7 +81,7 @@ func (t *Terminal) QueueLen() int { return t.qlen }
 // Send enqueues a packet created by Network.NewPacket for injection. The
 // packet's Birth is stamped with the current time.
 func (t *Terminal) Send(p *route.Packet) {
-	p.Birth = t.net.K.Now()
+	p.Birth = t.now()
 	p.Next = nil
 	if t.qtail == nil {
 		t.qhead = p
@@ -88,9 +96,8 @@ func (t *Terminal) Send(p *route.Packet) {
 // tryInject pushes queued packets into the injection channel while
 // credits and channel bandwidth allow.
 func (t *Terminal) tryInject() {
-	k := t.net.K
 	for t.qhead != nil {
-		now := k.Now()
+		now := t.now()
 		if t.busyUntil > now {
 			t.scheduleRetry(t.busyUntil)
 			return

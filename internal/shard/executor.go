@@ -1,18 +1,34 @@
 // Package shard runs one simulation across multiple cores while keeping
 // the executed event sequence bit-identical to a serial run.
 //
-// The executor advances the kernel one timestamp at a time: it drains
-// every event of the earliest cycle (already globally sequence-sorted),
-// partitions them across the model's shards, executes the shards in
-// parallel workers, and then has the model merge the staged schedule
-// calls and side effects back into the kernel in global sequence order.
-// Determinism therefore never depends on goroutine scheduling: the
-// parallel phase touches only shard-private state (see
-// internal/network/shard.go for the ownership argument), and everything
-// order-sensitive happens in the single-threaded merge. The barrier is
-// the conservative synchronization window — every model latency is at
-// least one cycle, so an event can only be scheduled by a strictly
-// earlier cycle (or staged within its own, which the merge re-drains).
+// The executor advances the kernel one conservative time window at a
+// time: it drains every event scheduled before the window boundary
+// (already globally (time, seq)-sorted), partitions them across the
+// model's shards, executes the shards in parallel workers — each shard
+// interleaving events its own callbacks schedule back inside the window
+// — and then has the model merge the staged schedule calls and side
+// effects back into the kernel in global serial order. Determinism
+// therefore never depends on goroutine scheduling: the parallel phase
+// touches only shard-private state (see internal/network/shard.go for
+// the ownership argument), and everything order-sensitive happens in the
+// single-threaded merge.
+//
+// The window width is the lookahead bound: a cross-shard schedule always
+// crosses a router-to-router channel, so it lands at least the model's
+// minimum cross-shard latency after the event that issued it. For any
+// window no wider than that latency, an event drained at the window
+// start can only receive cross-shard work beyond the window end — which
+// is exactly what lets every shard run its whole slice between barriers.
+// Same-shard schedules may land arbitrarily close (back-to-back
+// arbitration retries), so those execute locally on their shard, in
+// serial order (sim.Stage.RunWindow). A width of 1 degenerates to the
+// per-cycle barrier of the original executor.
+//
+// Workers are a persistent pool created by New and shared by every
+// RunCtx call (fork-per-point sweeps would otherwise respawn them per
+// point); per-window imbalance is absorbed by per-participant deques
+// with work stealing. Call Close when the executor is retired to stop
+// the pool.
 //
 // This package is the concurrency carve-out of the simulator: it is the
 // only determinism-scoped package allowed to use goroutines (hxlint's
@@ -21,9 +37,10 @@
 // of Kernel.Run's until-boundary.
 //
 // Unsupported in sharded mode: Kernel.Halt from inside an event (the
-// halt flag is only checked at cycle boundaries, so the rest of the
-// halting event's cycle still executes; the facade never halts mid-run).
-// Context cancellation is polled per cycle rather than every few
+// halt flag is only checked at window boundaries, so the rest of the
+// halting event's window still executes; the facade never halts mid-run,
+// and its collector closures force the single-cycle serial fallback).
+// Context cancellation is polled per window rather than every few
 // thousand events; a cancelled run has executed a strict prefix of the
 // serial schedule either way and is discarded by its caller.
 package shard
@@ -37,40 +54,216 @@ import (
 
 // Model is the sharded simulation model (implemented by
 // network.Network). The executor calls EnterSharded/ExitSharded around
-// parallel execution, PartitionCycle/RunShard for the parallel phase,
-// and MergeCycle for the deterministic replay.
+// parallel execution, PartitionWindow/RunShard for the parallel phase,
+// and MergeWindow for the deterministic replay.
 type Model interface {
 	NumShards() int
 	EnterSharded()
 	ExitSharded()
-	// PartitionCycle distributes a drained cycle to the shards' batches,
-	// returning false (with batches cleared) if the cycle holds an event
+	// PartitionWindow distributes a drained window to the shards' batches
+	// and opens their stages for the window ending at winEnd (exclusive),
+	// returning false (with batches cleared) if the window holds an event
 	// that cannot be sharded and must run serially.
-	PartitionCycle(batch []*sim.Event) bool
-	// BatchLen reports shard s's share of the current cycle.
+	PartitionWindow(batch []*sim.Event, winEnd sim.Time) bool
+	// BatchLen reports shard s's share of the current window.
 	BatchLen(s int) int
 	// RunShard executes shard s's batch against shard-private state.
 	RunShard(s int)
-	// MergeCycle replays all shards' staged work in global seq order.
-	MergeCycle()
+	// MergeWindow replays all shards' staged work in global (time, seq)
+	// order and reports whether the window's serially-last processed
+	// event was dead (the until-overshoot quirk's trigger).
+	MergeWindow() (lastDead bool)
+}
+
+// deque is one participant's task queue: the owner pops LIFO from the
+// bottom, thieves pop FIFO from the top. All pushes happen on the
+// coordinator before any worker wakes, so only the pops need the lock.
+type deque struct {
+	mu   sync.Mutex
+	q    []int
+	head int
+}
+
+func (d *deque) reset() {
+	d.q = d.q[:0]
+	d.head = 0
+}
+
+// push appends a task. Coordinator-only, before the dispatch wakes any
+// worker (the wake channel send publishes it).
+func (d *deque) push(s int) {
+	d.q = append(d.q, s)
+}
+
+// popBottom takes the owner's next task (LIFO keeps it on the tasks it
+// was dealt).
+func (d *deque) popBottom() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.q) {
+		return 0, false
+	}
+	s := d.q[len(d.q)-1]
+	d.q = d.q[:len(d.q)-1]
+	return s, true
+}
+
+// popTop steals the victim's oldest task.
+func (d *deque) popTop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.q) {
+		return 0, false
+	}
+	s := d.q[d.head]
+	d.head++
+	return s, true
 }
 
 // Executor drives one kernel/model pair. Not safe for concurrent use;
-// create one per simulation instance and call RunCtx from one goroutine.
+// create one per simulation instance, call RunCtx from one goroutine,
+// and Close it when retired (Close stops the persistent worker pool).
 type Executor struct {
 	k   *sim.Kernel
 	m   Model
+	win sim.Time
 	buf []*sim.Event
+	nsh int
+
+	// Persistent worker pool: nsh-1 parked workers plus the coordinator.
+	// Participant i owns parts[i]; the coordinator is participant 0,
+	// worker w is participant w+1 and parks on wake[w]. nparts is the
+	// current dispatch's participant count (published to workers by the
+	// wake send).
+	parts    []deque
+	nparts   int
+	wake     []chan struct{}
+	quit     chan struct{}
+	workers  sync.WaitGroup
+	shardsWG sync.WaitGroup // one count per RunShard still outstanding
+	idleWG   sync.WaitGroup // one count per woken worker not yet re-parked
 }
 
-// New returns an executor over the kernel and model. The model must have
-// its shards configured already (network.Network.ConfigureShards).
-func New(k *sim.Kernel, m Model) *Executor {
-	return &Executor{k: k, m: m}
+// New returns an executor over the kernel and model with the given
+// window width in cycles (widths below 1 are treated as 1; the caller —
+// the facade — derives and caps the width from the model's latencies).
+// The model must have its shards configured already
+// (network.Network.ConfigureShards). The worker pool starts immediately;
+// pair every New with a Close.
+func New(k *sim.Kernel, m Model, window sim.Time) *Executor {
+	if window < 1 {
+		window = 1
+	}
+	nsh := m.NumShards()
+	x := &Executor{
+		k:     k,
+		m:     m,
+		win:   window,
+		nsh:   nsh,
+		parts: make([]deque, nsh),
+		wake:  make([]chan struct{}, nsh-1),
+		quit:  make(chan struct{}),
+	}
+	for w := range x.wake {
+		x.wake[w] = make(chan struct{}, 1)
+		x.workers.Add(1)
+		go func(w int) {
+			defer x.workers.Done()
+			for {
+				select {
+				case <-x.quit:
+					return
+				case <-x.wake[w]:
+					x.scan(w + 1)
+					x.idleWG.Done()
+				}
+			}
+		}(w)
+	}
+	return x
+}
+
+// Close stops the persistent worker pool and waits for the workers to
+// exit. The executor must be idle (no RunCtx in flight). Close is
+// idempotent.
+func (x *Executor) Close() {
+	if x.quit == nil {
+		return
+	}
+	close(x.quit)
+	x.workers.Wait()
+	x.quit = nil
+}
+
+// scan runs tasks as participant id: first the participant's own deque
+// (LIFO), then steals from the others (FIFO), returning when every deque
+// is empty. Tasks are only pushed before the dispatch wakes the workers,
+// so an empty sweep means the window's fan-out is fully claimed.
+func (x *Executor) scan(id int) {
+	for {
+		s, ok := x.parts[id].popBottom()
+		for v := 0; !ok && v < x.nparts; v++ {
+			if v != id {
+				s, ok = x.parts[v].popTop()
+			}
+		}
+		if !ok {
+			return
+		}
+		x.m.RunShard(s)
+		x.shardsWG.Done()
+	}
+}
+
+// runShards executes every nonempty shard of the current window: inline
+// when only one shard has work, otherwise dealt round-robin across the
+// coordinator and up to nonempty-1 woken workers, with stealing evening
+// out imbalanced deals. Returns with every RunShard complete and every
+// woken worker re-parked (the next window's deal must not race a
+// straggling thief).
+func (x *Executor) runShards() {
+	n, only := 0, 0
+	for s := 0; s < x.nsh; s++ {
+		if x.m.BatchLen(s) > 0 {
+			n++
+			only = s
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		x.m.RunShard(only)
+		return
+	}
+	nparts := 1 + len(x.wake)
+	if n < nparts {
+		nparts = n
+	}
+	x.nparts = nparts
+	for i := 0; i < nparts; i++ {
+		x.parts[i].reset()
+	}
+	i := 0
+	for s := 0; s < x.nsh; s++ {
+		if x.m.BatchLen(s) == 0 {
+			continue
+		}
+		x.parts[i%nparts].push(s)
+		i++
+	}
+	x.shardsWG.Add(n)
+	x.idleWG.Add(nparts - 1)
+	for w := 0; w < nparts-1; w++ {
+		x.wake[w] <- struct{}{}
+	}
+	x.scan(0)
+	x.shardsWG.Wait()
+	x.idleWG.Wait()
 }
 
 // RunCtx executes events until the queue is empty, the clock passes
-// until (when until > 0), Halt is observed at a cycle boundary, or ctx
+// until (when until > 0), Halt is observed at a window boundary, or ctx
 // is cancelled. The executed event sequence — and every observable model
 // state — is bit-identical to sim.Kernel.RunCtx over the same schedule,
 // including Run's two historical boundary quirks: a live event directly
@@ -79,31 +272,8 @@ func New(k *sim.Kernel, m Model) *Executor {
 func (x *Executor) RunCtx(ctx context.Context, until sim.Time) (sim.Time, error) {
 	k := x.k
 	k.ClearHalt()
-	nsh := x.m.NumShards()
 	x.m.EnterSharded()
 	defer x.m.ExitSharded()
-
-	// Per-run worker pool: nsh-1 workers plus the coordinator (which runs
-	// the first nonempty shard inline) cover all shards each cycle. The
-	// channel send/receive pair and the WaitGroup give the happens-before
-	// edges between the coordinator and every shard execution.
-	work := make(chan int, nsh)
-	var cycle sync.WaitGroup
-	var workers sync.WaitGroup
-	for w := 0; w < nsh-1; w++ {
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			for s := range work {
-				x.m.RunShard(s)
-				cycle.Done()
-			}
-		}()
-	}
-	defer func() {
-		close(work)
-		workers.Wait()
-	}()
 
 	for {
 		if k.Halted() {
@@ -122,44 +292,45 @@ func (x *Executor) RunCtx(ctx context.Context, until sim.Time) (sim.Time, error)
 			k.SetNow(until)
 			return k.Now(), nil
 		}
-		_, batch := k.DrainCycle(x.buf)
+		winEnd := t + x.win
+		if until > 0 && winEnd > until+1 {
+			// Clamp so no live event beyond until executes mid-window; the
+			// dead-tail overshoot below is the only sanctioned excursion.
+			winEnd = until + 1
+		}
+		batch := k.DrainWindow(winEnd, x.buf)
 		x.buf = batch
-		lastDead := batch[len(batch)-1].Dead()
-		if x.m.PartitionCycle(batch) {
-			inline := -1
-			for s := 0; s < nsh; s++ {
-				if x.m.BatchLen(s) == 0 {
-					continue
-				}
-				if inline < 0 {
-					inline = s
-					continue
-				}
-				cycle.Add(1)
-				work <- s
-			}
-			if inline >= 0 {
-				x.m.RunShard(inline)
-			}
-			cycle.Wait()
-			x.m.MergeCycle()
+		var lastDead bool
+		if x.m.PartitionWindow(batch, winEnd) {
+			x.runShards()
+			lastDead = x.m.MergeWindow()
 		} else {
-			// Unshardable cycle (closure event or foreign actor): run it
-			// serially with sharded mode off. Events it schedules for this
-			// same cycle land in the calendar and are re-drained next
-			// iteration, exactly as the serial pop loop would order them.
+			// Unshardable window (closure event or foreign actor): put the
+			// batch back — stamps intact — and run ONE cycle serially with
+			// sharded mode off. A whole-window serial pass would be wrong:
+			// events this cycle schedules inside the window must interleave
+			// with the requeued remainder, which the next iteration's drain
+			// (or re-partition) orders correctly.
+			k.Requeue(batch)
 			x.m.ExitSharded()
-			for _, e := range batch {
+			_, cyc := k.DrainCycle(x.buf)
+			x.buf = cyc
+			for _, e := range cyc {
+				// Read deadness per event before ExecDrained: the recycled
+				// struct can be handed straight back to a same-cycle
+				// reschedule, clobbering the flag.
+				d := e.Dead()
 				k.ExecDrained(e)
+				lastDead = d
 			}
 			x.m.EnterSharded()
 		}
 		if lastDead && until > 0 {
 			// Serial Run's pop-until-live chain: dead events skip the until
-			// recheck, so when a cycle's seq-tail is dead and the next event
-			// lies beyond the boundary, serial executes one more live event
-			// (however far ahead) before stopping. Reproduce it with one
-			// serial Step, then stop at the boundary as serial does.
+			// recheck, so when the window's seq-tail is dead and the next
+			// event lies beyond the boundary, serial executes one more live
+			// event (however far ahead) before stopping. Reproduce it with
+			// one serial Step, then stop at the boundary as serial does.
 			if t2, ok2 := k.PeekTime(); ok2 && t2 > until {
 				x.m.ExitSharded()
 				k.Step()

@@ -4,10 +4,15 @@ package shard
 // a ring of counter slots where each event increments its slot and
 // schedules follow-on events, sometimes across shards. The toy implements
 // the same staging discipline as internal/network (stage into the
-// executing shard, merge replays in global seq order), so these tests pin
-// the executor's serial-equivalence edge cases — until boundaries, dead
-// seq-tails, closure fallback — with exact expectations computed from a
-// serial kernel running the identical schedule.
+// executing shard, window-local execution via Stage.RunWindow, merge
+// replays in global (time, seq) order), so these tests pin the executor's
+// serial-equivalence edge cases — until boundaries, dead seq-tails,
+// closure fallback, windowed cancellation — with exact expectations
+// computed from a serial kernel running the identical schedule.
+//
+// Toy latencies: same-slot ticks re-arm at +3 (same-shard), pokes cross
+// to the next slot at +5 — the toy's minimum cross-shard latency — so
+// window widths up to 5 are safe, and the tests sweep {1, 2, 3, 5}.
 
 import (
 	"context"
@@ -16,24 +21,43 @@ import (
 	"hyperx/internal/sim"
 )
 
-// toyRec mirrors network.execRec: one executed event's replay window.
+// toyWindows are the widths every serial-equivalence test sweeps: the
+// degenerate per-cycle barrier, partial windows, and the toy's full
+// cross-shard latency bound.
+var toyWindows = []sim.Time{1, 2, 3, 5}
+
+// toyRec mirrors network.execRec: one executed event's replay window. A
+// drained event carries its (at, seq); an in-window staged event carries
+// its handle (seq assigned at replay).
 type toyRec struct {
-	at      sim.Time
-	seq     uint64
-	opsEnd  int
-	dead    bool
-	hasDead bool
+	at     sim.Time
+	seq    uint64
+	ev     *sim.Event
+	opsEnd int
+}
+
+// toyShardRec is shard s's sim.Recorder.
+type toyShardRec struct {
+	m *toy
+	s int
+}
+
+func (r *toyShardRec) Record(at sim.Time, seq uint64, ev *sim.Event) {
+	m, s := r.m, r.s
+	m.recs[s] = append(m.recs[s], toyRec{at: at, seq: seq, ev: ev, opsEnd: m.stages[s].StagedLen()})
 }
 
 // toy is a sharded model over nsh counter slots; slot i lives on shard
 // i%nsh. Each event increments slot a and, while below limit, schedules
-// the slot's next tick at +step; every third tick also pokes slot a+1 —
-// cross-shard traffic whose ordering the merge must serialize.
+// the slot's next tick at +3; every third tick also pokes slot a+1 at +5
+// — cross-shard traffic whose ordering the merge must serialize.
 type toy struct {
 	k       *sim.Kernel
 	stages  []*sim.Stage
+	srecs   []*toyShardRec
 	batches [][]*sim.Event
 	recs    [][]toyRec
+	cur     []int
 	opsPos  []int
 	slots   []int64
 	sharded bool
@@ -43,9 +67,11 @@ type toy struct {
 func newToy(k *sim.Kernel, nsh, slots int, limit sim.Time) *toy {
 	m := &toy{k: k, slots: make([]int64, slots), limit: limit}
 	for s := 0; s < nsh; s++ {
-		m.stages = append(m.stages, sim.NewStage())
+		m.stages = append(m.stages, sim.NewStage(s))
+		m.srecs = append(m.srecs, &toyShardRec{m: m, s: s})
 		m.batches = append(m.batches, nil)
 		m.recs = append(m.recs, nil)
+		m.cur = append(m.cur, 0)
 		m.opsPos = append(m.opsPos, 0)
 	}
 	return m
@@ -71,7 +97,7 @@ func (m *toy) Act(op uint8, a, b, _ int32, _ any) {
 			m.k.AtAct(at, m, op, slot, gen, 0, nil)
 		}
 	}
-	now := m.now()
+	now := m.now(a)
 	if now+3 <= m.limit {
 		sched(now+3, 0, a, b+1)
 	}
@@ -80,16 +106,24 @@ func (m *toy) Act(op uint8, a, b, _ int32, _ any) {
 	}
 }
 
-// now reads the kernel clock: pinned by DrainCycle for the whole cycle,
-// it is safe to read from parallel shards (the same contract the network
-// model relies on).
-func (m *toy) now() sim.Time { return m.k.Now() }
+// now reads the model clock: the executing shard's stage clock during a
+// parallel phase (the kernel clock is frozen at the window start then),
+// the kernel clock otherwise — the same contract the network model uses.
+func (m *toy) now(slot int32) sim.Time {
+	if m.sharded {
+		return m.stages[m.shardOf(slot)].Now()
+	}
+	return m.k.Now()
+}
 
 func (m *toy) NumShards() int { return len(m.stages) }
 func (m *toy) EnterSharded()  { m.sharded = true }
 func (m *toy) ExitSharded()   { m.sharded = false }
 
-func (m *toy) PartitionCycle(batch []*sim.Event) bool {
+func (m *toy) PartitionWindow(batch []*sim.Event, winEnd sim.Time) bool {
+	for s := range m.stages {
+		m.stages[s].StartWindow(winEnd)
+	}
 	for _, e := range batch {
 		s, ok := e.Shard()
 		if !ok {
@@ -106,54 +140,62 @@ func (m *toy) PartitionCycle(batch []*sim.Event) bool {
 func (m *toy) BatchLen(s int) int { return len(m.batches[s]) }
 
 func (m *toy) RunShard(s int) {
-	st := m.stages[s]
-	st.StartCycle(m.k.Now())
-	for _, e := range m.batches[s] {
-		if e.Dead() {
-			m.recs[s] = append(m.recs[s], toyRec{at: e.At(), seq: e.Seq(), dead: true})
-			st.Recycle(e)
-			continue
-		}
-		at, seq := e.At(), e.Seq()
-		st.Exec(e)
-		m.recs[s] = append(m.recs[s], toyRec{at: at, seq: seq, opsEnd: st.StagedLen()})
-	}
+	m.stages[s].RunWindow(m.batches[s], m.srecs[s])
 	m.batches[s] = m.batches[s][:0]
 }
 
-func (m *toy) MergeCycle() {
+func (m *toy) MergeWindow() bool {
 	var live uint64
 	for {
 		pick := -1
+		var pAt sim.Time
+		var pSeq uint64
 		for s := range m.recs {
-			if len(m.recs[s]) == 0 {
+			if m.cur[s] >= len(m.recs[s]) {
 				continue
 			}
-			if pick < 0 || m.recs[s][0].seq < m.recs[pick][0].seq {
-				pick = s
+			rec := &m.recs[s][m.cur[s]]
+			at, seq := rec.at, rec.seq
+			if rec.ev != nil {
+				seq = rec.ev.Seq() // assigned by this shard's earlier replay
+			}
+			if pick < 0 || at < pAt || (at == pAt && seq < pSeq) {
+				pick, pAt, pSeq = s, at, seq
 			}
 		}
 		if pick < 0 {
 			break
 		}
-		rec := m.recs[pick][0]
-		m.recs[pick] = m.recs[pick][1:]
-		if rec.dead {
-			continue
-		}
+		rec := &m.recs[pick][m.cur[pick]]
+		m.cur[pick]++
 		live++
+		m.k.SetNow(pAt)
 		if tr := m.k.TraceExec; tr != nil {
-			tr(rec.at, rec.seq)
+			tr(pAt, pSeq)
 		}
 		m.stages[pick].ReplayOps(m.k, m.opsPos[pick], rec.opsEnd)
 		m.opsPos[pick] = rec.opsEnd
 	}
 	m.k.AddExecuted(live)
+	var tAt sim.Time
+	var tSeq uint64
+	var dead, has bool
+	for s := range m.stages {
+		at, seq, d, ok := m.stages[s].Tail()
+		if !ok {
+			continue
+		}
+		if !has || at > tAt || (at == tAt && seq > tSeq) {
+			tAt, tSeq, dead, has = at, seq, d, true
+		}
+	}
 	for s := range m.stages {
 		m.stages[s].ResetOps()
 		m.recs[s] = m.recs[s][:0]
+		m.cur[s] = 0
 		m.opsPos[s] = 0
 	}
+	return dead
 }
 
 // trace captures the executed (time, seq) stream of a kernel.
@@ -170,7 +212,7 @@ func seedToy(k *sim.Kernel, m *toy) {
 	}
 }
 
-func runPair(t *testing.T, nsh, slots int, limit, until sim.Time, mutate func(serial, sharded *sim.Kernel, sm, xm *toy)) {
+func runPair(t *testing.T, nsh int, win sim.Time, slots int, limit, until sim.Time, mutate func(serial, sharded *sim.Kernel, sm, xm *toy)) {
 	t.Helper()
 	sk := sim.NewKernel()
 	sm := newToy(sk, nsh, slots, limit)
@@ -184,111 +226,163 @@ func runPair(t *testing.T, nsh, slots int, limit, until sim.Time, mutate func(se
 	str, xtr := trace(sk), trace(xk)
 
 	sk.Run(until)
-	if _, err := New(xk, xm).RunCtx(context.Background(), until); err != nil {
+	x := New(xk, xm, win)
+	defer x.Close()
+	if _, err := x.RunCtx(context.Background(), until); err != nil {
 		t.Fatal(err)
 	}
 
 	if len(*str) != len(*xtr) {
-		t.Fatalf("executor ran %d events, serial %d", len(*xtr), len(*str))
+		t.Fatalf("nsh=%d win=%d: executor ran %d events, serial %d", nsh, win, len(*xtr), len(*str))
 	}
 	for i := range *str {
 		if (*str)[i] != (*xtr)[i] {
-			t.Fatalf("event %d diverged: executor (t=%d seq=%d), serial (t=%d seq=%d)",
-				i, (*xtr)[i][0], (*xtr)[i][1], (*str)[i][0], (*str)[i][1])
+			t.Fatalf("nsh=%d win=%d: event %d diverged: executor (t=%d seq=%d), serial (t=%d seq=%d)",
+				nsh, win, i, (*xtr)[i][0], (*xtr)[i][1], (*str)[i][0], (*str)[i][1])
 		}
 	}
 	for i := range sm.slots {
 		if sm.slots[i] != xm.slots[i] {
-			t.Fatalf("slot %d: executor %d, serial %d", i, xm.slots[i], sm.slots[i])
+			t.Fatalf("nsh=%d win=%d: slot %d: executor %d, serial %d", nsh, win, i, xm.slots[i], sm.slots[i])
 		}
 	}
 	if sk.Now() != xk.Now() || sk.Executed() != xk.Executed() {
-		t.Fatalf("end state: executor (now=%d exec=%d), serial (now=%d exec=%d)",
-			xk.Now(), xk.Executed(), sk.Now(), sk.Executed())
+		t.Fatalf("nsh=%d win=%d: end state: executor (now=%d exec=%d), serial (now=%d exec=%d)",
+			nsh, win, xk.Now(), xk.Executed(), sk.Now(), sk.Executed())
 	}
 }
 
 func TestExecutorMatchesSerial(t *testing.T) {
 	for _, nsh := range []int{1, 2, 3, 4} {
-		runPair(t, nsh, 8, 400, 0, nil)
+		for _, win := range toyWindows {
+			runPair(t, nsh, win, 8, 400, 0, nil)
+		}
 	}
+}
+
+// TestExecutorWorkStealing: a wide fan-out (8 shards, 7 pool workers)
+// over a long run keeps the deques busy enough that thieves routinely
+// outrun the round-robin deal. Serial equivalence must survive arbitrary
+// steal interleavings; `go test -race ./internal/shard` is the memory-
+// model half of this claim.
+func TestExecutorWorkStealing(t *testing.T) {
+	runPair(t, 8, 5, 32, 2000, 0, nil)
 }
 
 // TestExecutorUntilBoundary: stopping at an until that falls between,
 // on, and just before event times matches Kernel.Run's boundary behavior
-// (including the clock assignment to until).
+// (including the clock assignment to until) at every window width.
 func TestExecutorUntilBoundary(t *testing.T) {
 	for _, until := range []sim.Time{1, 2, 7, 100, 101, 399, 400, 1000} {
-		runPair(t, 3, 8, 400, until, nil)
+		for _, win := range toyWindows {
+			runPair(t, 3, win, 8, 400, until, nil)
+		}
 	}
 }
 
-// TestExecutorDeadTailOvershoot: when the boundary cycle's seq-tail is
+// TestExecutorDeadTailOvershoot: when the boundary window's seq-tail is
 // dead and the next live event lies beyond until, serial Run executes
-// that one extra event before stopping; the executor must reproduce it.
+// that one extra event before stopping (and the subsequent boundary stop
+// rewinds the clock to until); the executor must reproduce both quirks
+// at every window width.
 func TestExecutorDeadTailOvershoot(t *testing.T) {
-	mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
-		// A lone dead event at the boundary cycle, nothing else there: the
-		// pop-until-live chain skips past it into the next cycle.
-		sk.Cancel(sk.AtAct(50, sm, 1, 0, 0, 0, nil))
-		xk.Cancel(xk.AtAct(50, xm, 1, 0, 0, 0, nil))
+	for _, win := range toyWindows {
+		mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
+			// A lone dead event at the boundary cycle, nothing else there: the
+			// pop-until-live chain skips past it into the next cycle.
+			sk.Cancel(sk.AtAct(50, sm, 1, 0, 0, 0, nil))
+			xk.Cancel(xk.AtAct(50, xm, 1, 0, 0, 0, nil))
+		}
+		runPair(t, 2, win, 4, 400, 50, mutate)
 	}
-	runPair(t, 2, 4, 400, 50, mutate)
 }
 
 // TestExecutorClosureFallback: closure events carry no shard, forcing
-// their whole cycle through the serial fallback; execution stays
-// bit-identical including events the closure schedules for its own cycle.
+// their cycle through the serial fallback; with windows > 1 the rest of
+// the drained window is requeued first, so events the closure schedules
+// for its own cycle — and for later in-window cycles — interleave with
+// the requeued remainder exactly as the serial pop loop orders them.
 func TestExecutorClosureFallback(t *testing.T) {
-	mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
-		for _, pair := range []struct {
-			k *sim.Kernel
-			m *toy
-		}{{sk, sm}, {xk, xm}} {
-			k, m := pair.k, pair.m
-			k.At(20, func() {
-				m.slots[0] += 100
-				// Same-cycle schedule from inside the fallback: must land
-				// after the current batch, exactly as the serial pop loop
-				// orders it.
-				k.AtAct(20, m, 1, 1, 0, 0, nil)
-			})
+	for _, win := range toyWindows {
+		mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
+			for _, pair := range []struct {
+				k *sim.Kernel
+				m *toy
+			}{{sk, sm}, {xk, xm}} {
+				k, m := pair.k, pair.m
+				k.At(20, func() {
+					m.slots[0] += 100
+					// Same-cycle schedule from inside the fallback: must land
+					// after the current batch, exactly as the serial pop loop
+					// orders it.
+					k.AtAct(20, m, 1, 1, 0, 0, nil)
+					// And one landing mid-window, among requeued events.
+					k.AtAct(22, m, 1, 2, 0, 0, nil)
+				})
+			}
 		}
+		runPair(t, 3, win, 6, 400, 0, mutate)
 	}
-	runPair(t, 3, 6, 400, 0, mutate)
+}
+
+// TestExecutorSameWindowCancel: an event cancelling a later event of the
+// SAME window — a drained one on another shard, and an in-window staged
+// one on its own shard — must see the cancel land exactly as serially,
+// where the target would still be in the calendar. Deadness is read at
+// processing time, which this pins.
+func TestExecutorSameWindowCancel(t *testing.T) {
+	for _, win := range toyWindows {
+		mutate := func(sk, xk *sim.Kernel, sm, xm *toy) {
+			for _, pair := range []struct {
+				k *sim.Kernel
+				m *toy
+			}{{sk, sm}, {xk, xm}} {
+				k, m := pair.k, pair.m
+				// Victim: a poke at t=43 on slot 1. Canceller: a closure at
+				// t=41 (forces the fallback cycle, which requeues the rest of
+				// the window; the victim must still die before it runs).
+				victim := k.AtAct(43, m, 1, 1, 0, 0, nil)
+				k.At(41, func() { k.Cancel(victim) })
+			}
+		}
+		runPair(t, 2, win, 4, 400, 0, mutate)
+	}
 }
 
 // TestExecutorEmptyAndHalt: an empty calendar returns immediately; a
-// mid-run Halt is observed at the next cycle boundary (the documented
+// mid-run Halt is observed at the next window boundary (the documented
 // sharded-mode contract), stopping with later events still queued; and a
 // fresh RunCtx clears the flag and resumes, exactly as Kernel.Run does.
 func TestExecutorEmptyAndHalt(t *testing.T) {
-	k := sim.NewKernel()
-	m := newToy(k, 2, 4, 100)
-	x := New(k, m)
-	if now, err := x.RunCtx(context.Background(), 0); err != nil || now != 0 {
-		t.Fatalf("empty run = (%d, %v), want (0, nil)", now, err)
-	}
-	seedToy(k, m)
-	k.At(10, func() { k.Halt() })
-	if _, err := x.RunCtx(context.Background(), 0); err != nil {
-		t.Fatal(err)
-	}
-	if !k.Halted() {
-		t.Fatal("halt flag not observed")
-	}
-	if k.Now() > 10 {
-		t.Fatalf("executor ran past the halting cycle: now=%d", k.Now())
-	}
-	if _, ok := k.PeekTime(); !ok {
-		t.Fatal("halted run drained the calendar; later events must stay queued")
-	}
-	// Resuming clears the flag (as Kernel.Run does) and drains the rest.
-	if _, err := x.RunCtx(context.Background(), 0); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := k.PeekTime(); ok {
-		t.Fatal("resumed run left events queued")
+	for _, win := range toyWindows {
+		k := sim.NewKernel()
+		m := newToy(k, 2, 4, 100)
+		x := New(k, m, win)
+		if now, err := x.RunCtx(context.Background(), 0); err != nil || now != 0 {
+			t.Fatalf("win=%d: empty run = (%d, %v), want (0, nil)", win, now, err)
+		}
+		seedToy(k, m)
+		k.At(10, func() { k.Halt() })
+		if _, err := x.RunCtx(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if !k.Halted() {
+			t.Fatalf("win=%d: halt flag not observed", win)
+		}
+		if k.Now() > 10 {
+			t.Fatalf("win=%d: executor ran past the halting cycle: now=%d", win, k.Now())
+		}
+		if _, ok := k.PeekTime(); !ok {
+			t.Fatalf("win=%d: halted run drained the calendar; later events must stay queued", win)
+		}
+		// Resuming clears the flag (as Kernel.Run does) and drains the rest.
+		if _, err := x.RunCtx(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := k.PeekTime(); ok {
+			t.Fatalf("win=%d: resumed run left events queued", win)
+		}
+		x.Close()
 	}
 }
 
@@ -300,7 +394,65 @@ func TestExecutorContextCancel(t *testing.T) {
 	seedToy(k, m)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := New(k, m).RunCtx(ctx, 0); err != context.Canceled {
+	x := New(k, m, 5)
+	defer x.Close()
+	if _, err := x.RunCtx(ctx, 0); err != context.Canceled {
 		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestExecutorContextCancelMidRunWindowed: cancelling from inside an
+// event (a closure both kernels share, so the schedules stay identical)
+// stops the windowed executor at the next window boundary, having
+// executed a strict — and non-empty — prefix of the serial schedule.
+func TestExecutorContextCancelMidRunWindowed(t *testing.T) {
+	for _, win := range []sim.Time{2, 3, 5} {
+		sk := sim.NewKernel()
+		sm := newToy(sk, 3, 8, 100000)
+		seedToy(sk, sm)
+		xk := sim.NewKernel()
+		xm := newToy(xk, 3, 8, 100000)
+		seedToy(xk, xm)
+		ctx, cancel := context.WithCancel(context.Background())
+		// The closure exists in both schedules; only the executor's context
+		// observes the cancel.
+		sk.At(500, func() {})
+		xk.At(500, func() { cancel() })
+		str, xtr := trace(sk), trace(xk)
+
+		sk.Run(2000)
+		x := New(xk, xm, win)
+		if _, err := x.RunCtx(context.Background(), 0); err != nil {
+			// First drive the pair to the cancel point sanity-free: not
+			// expected to error.
+			t.Fatal(err)
+		}
+		x.Close()
+		_ = ctx
+		if len(*xtr) == 0 {
+			t.Fatalf("win=%d: executor executed nothing", win)
+		}
+		// Rebuild and run under the cancellable context for the real check.
+		xk2 := sim.NewKernel()
+		xm2 := newToy(xk2, 3, 8, 100000)
+		seedToy(xk2, xm2)
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		xk2.At(500, func() { cancel2() })
+		xtr2 := trace(xk2)
+		x2 := New(xk2, xm2, win)
+		if _, err := x2.RunCtx(ctx2, 2000); err != context.Canceled {
+			t.Fatalf("win=%d: cancelled run returned %v, want context.Canceled", win, err)
+		}
+		x2.Close()
+		if len(*xtr2) == 0 || len(*xtr2) >= len(*str) {
+			t.Fatalf("win=%d: cancelled run executed %d events, serial full run %d — want a non-empty strict prefix",
+				win, len(*xtr2), len(*str))
+		}
+		for i := range *xtr2 {
+			if (*xtr2)[i] != (*str)[i] {
+				t.Fatalf("win=%d: cancelled run diverged at event %d: executor (t=%d seq=%d), serial (t=%d seq=%d)",
+					win, i, (*xtr2)[i][0], (*xtr2)[i][1], (*str)[i][0], (*str)[i][1])
+			}
+		}
 	}
 }

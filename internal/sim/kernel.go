@@ -74,6 +74,7 @@ type Event struct {
 
 	dead   bool // cancelled; skipped and recycled at pop time
 	queued bool // allocated and not yet executed/recycled: still cancellable
+	done   bool // staged event already executed inside its window (see stage.go)
 }
 
 const (
@@ -212,6 +213,7 @@ func (k *Kernel) alloc(t Time) *Event {
 	e.seq = k.seq
 	e.dead = false
 	e.queued = true
+	e.done = false
 	k.seq++
 	k.npend++
 	return e
@@ -240,6 +242,7 @@ func (k *Kernel) enqueue(e *Event) {
 // (serially the target would still be in the calendar at that point).
 func (k *Kernel) recycle(e *Event) {
 	e.queued = false
+	e.done = false
 	e.fn = nil
 	e.act = nil
 	e.p = nil

@@ -6,19 +6,29 @@
 // that makes this possible is split between this file and the model
 // (internal/network):
 //
-//   - DrainCycle pops every event of the earliest timestamp in (time,
-//     seq) order — exactly the set and order a serial Run would execute
-//     before the clock next advances.
-//   - Each shard executes its slice of the cycle through a Stage, which
+//   - DrainWindow pops every event scheduled before a window boundary in
+//     (time, seq) order — exactly the set and order a serial Run would
+//     execute before the clock reaches the boundary. (DrainCycle is the
+//     single-timestamp special case, kept for the serial fallback.)
+//   - Each shard executes its slice of the window through a Stage, which
 //     records schedule calls (AtAct/AfterAct) in program order WITHOUT
-//     assigning sequence numbers, and pools events privately so the
-//     parallel phase never touches the kernel's free list.
+//     assigning kernel sequence numbers, and pools events privately so
+//     the parallel phase never touches the kernel's free list. A
+//     schedule call landing inside the window stays on the shard — the
+//     window width is capped at the minimum cross-shard latency, so such
+//     an event is same-shard by construction (AtAct asserts it) — and
+//     RunWindow executes it locally, interleaved with the drained batch
+//     in serial order: at equal times drained events run first (their
+//     serial seqs predate every staged seq), and staged events run in
+//     staging order (their eventual seqs are assigned in exactly that
+//     order by the merge's replay).
 //   - After the barrier, the coordinator replays the staged schedule
 //     calls in global (executing-event seq, program order) order through
 //     InjectStaged, which assigns k.seq exactly as the serial kernel
 //     would have: serial seq assignment is a pure function of execution
 //     order and per-callback program order, both of which the replay
-//     reproduces.
+//     reproduces. Staged events already executed inside the window
+//     (done) consume their seq but never re-enter the calendar.
 //
 // Within one callback the serial kernel interleaves schedule calls with
 // model side effects; the replay performs all of an event's schedule
@@ -96,6 +106,39 @@ func (k *Kernel) DrainCycle(buf []*Event) (Time, []*Event) {
 	return t, buf
 }
 
+// DrainWindow removes and returns every event queued before winEnd, in
+// (time, seq) order (dead events included — the caller recycles,
+// executes, or requeues them). Unlike DrainCycle it does NOT touch the
+// clock: a window can contain only dead events, for which the serial
+// loop would never have advanced now; the merge advances the clock per
+// live event instead. It reuses buf's backing array; an empty window
+// returns buf[:0].
+func (k *Kernel) DrainWindow(winEnd Time, buf []*Event) []*Event {
+	buf = buf[:0]
+	for {
+		e := k.peek()
+		if e == nil || e.at >= winEnd {
+			return buf
+		}
+		k.popPeeked(e)
+		buf = append(buf, e)
+	}
+}
+
+// Requeue returns drained-but-unexecuted events to the calendar with
+// their original (time, seq) stamps, in drain order, so an unshardable
+// window can fall back to single-cycle serial execution. Order is
+// preserved: the drain emptied every touched bucket, so re-appending in
+// drain order restores sequence-sorted buckets, and events now behind
+// the calendar window land in the late list, which peek orders by
+// (time, seq).
+func (k *Kernel) Requeue(batch []*Event) {
+	for _, e := range batch {
+		k.npend++
+		k.enqueue(e)
+	}
+}
+
 // SetNow forces the clock, mirroring Run's until-boundary behaviour
 // (k.now = until), including the historical quirk that the boundary can
 // rewind the clock below an already-executed event's time.
@@ -126,27 +169,50 @@ func (k *Kernel) ExecDrained(e *Event) {
 // merge, in the exact order the serial kernel would have assigned
 // sequence numbers; staged events that were cancelled in the meantime
 // are enqueued dead — they consume a seq, as the serial schedule did.
+// Events already executed (or popped dead) inside the window on their
+// own shard consume their seq here too, but never re-enter the calendar;
+// their structs are recycled by ResetOps after the merge has finished
+// reading them.
 func (k *Kernel) InjectStaged(e *Event) {
 	e.seq = k.seq
 	k.seq++
+	if e.done {
+		return
+	}
 	k.npend++
 	k.enqueue(e)
 }
 
 // Stage is one shard's private scheduling context during the parallel
-// phase of a cycle: it collects the shard's schedule calls in program
-// order and owns a private event pool, so shards share no mutable kernel
-// state. Create one per shard with NewStage; the coordinator sets the
-// clock with StartCycle before each parallel phase.
+// phase of a window: it collects the shard's schedule calls in program
+// order, holds the in-window portion of them on a pending heap for local
+// execution, and owns a private event pool, so shards share no mutable
+// kernel state. Create one per shard with NewStage; the coordinator
+// opens each parallel phase with StartWindow.
 type Stage struct {
-	now  Time
-	free []*Event
-	ops  []*Event // staged schedule calls, program order
+	now    Time
+	idx    int  // this stage's shard index, for the in-window ownership assertion
+	winEnd Time // current window's exclusive end; schedules before it stay local
+	free   []*Event
+	ops    []*Event // staged schedule calls, program order
+	pend   farHeap  // in-window staged events, keyed (at, staging rank)
+
+	// Tail of the last RunWindow: the (time, seq)-maximal processed
+	// event, live or dead, for the executor's until-overshoot quirk. A
+	// staged tail keeps its handle (its kernel seq is assigned only at
+	// the merge's replay); a drained tail's stamps are copied out before
+	// its struct is recycled.
+	tailEv   *Event
+	tailAt   Time
+	tailSeq  uint64
+	tailDead bool
+	hasTail  bool
 }
 
-// NewStage returns an empty stage pre-stocked with one event chunk.
-func NewStage() *Stage {
-	st := &Stage{free: make([]*Event, 0, eventChunk)}
+// NewStage returns an empty stage for shard idx, pre-stocked with one
+// event chunk.
+func NewStage(idx int) *Stage {
+	st := &Stage{idx: idx, free: make([]*Event, 0, eventChunk)}
 	st.refill()
 	return st
 }
@@ -166,11 +232,24 @@ func (st *Stage) refill() {
 // StartCycle pins the stage's clock to the cycle being executed.
 func (st *Stage) StartCycle(now Time) { st.now = now }
 
-// Now returns the stage's pinned cycle time.
+// StartWindow opens a parallel phase covering [now, winEnd): schedule
+// calls landing before winEnd stay on this stage's pending heap and
+// execute locally inside RunWindow instead of round-tripping through the
+// calendar. It also clears the previous window's tail; the stage clock
+// advances per executed event inside RunWindow.
+func (st *Stage) StartWindow(winEnd Time) {
+	st.winEnd = winEnd
+	st.hasTail = false
+	st.tailEv = nil
+}
+
+// Now returns the stage's clock: the time of the event currently
+// executing on this shard.
 func (st *Stage) Now() Time { return st.now }
 
 // alloc takes an event from the stage pool and stamps its time. The seq
-// stays unassigned (zero) until the merge injects the event.
+// stays unassigned until the merge injects the event (AtAct reuses the
+// field for the staging rank in the meantime).
 func (st *Stage) alloc(t Time) *Event {
 	if t < st.now {
 		panic("sim: event scheduled in the past")
@@ -183,8 +262,8 @@ func (st *Stage) alloc(t Time) *Event {
 	e := st.free[n-1]
 	st.free = st.free[:n-1]
 	e.at = t
-	e.seq = 0
 	e.dead = false
+	e.done = false
 	// queued=true from the moment of staging so Kernel.Cancel works on a
 	// staged handle exactly as on an enqueued one (same-cycle cancels of
 	// reroute timers are same-shard and therefore race-free).
@@ -193,15 +272,33 @@ func (st *Stage) alloc(t Time) *Event {
 }
 
 // AtAct stages a typed event for absolute time t and returns its handle,
-// which supports Kernel.Cancel like a directly scheduled event.
+// which supports Kernel.Cancel like a directly scheduled event. An event
+// landing inside the current window additionally joins the stage's
+// pending heap for local execution; the window width is capped at the
+// minimum cross-shard latency (see internal/shard), so such an event is
+// same-shard by construction — scheduling a cross-shard event inside the
+// window is a model ownership bug, and the assertion here is what keeps
+// the window determinism argument mechanized rather than hoped-for.
 func (st *Stage) AtAct(t Time, act Actor, op uint8, a, b, c int32, p any) *Event {
 	e := st.alloc(t)
 	e.act = act
 	e.op = op
 	e.a, e.b, e.c = a, b, c
 	e.p = p
-	//hxlint:allow allocfree — the staged-ops list grows to the shard's per-cycle high-water schedule count and is reset (not reallocated) every merge
+	// Staging rank: position in this stage's ops log. The pending heap
+	// orders equal-time events by it, which equals their eventual kernel
+	// seq order (the merge's replay walks this shard's records in the
+	// same order RunWindow processed them, and each record's ops in
+	// program order). InjectStaged overwrites it with the real seq.
+	e.seq = uint64(len(st.ops))
+	//hxlint:allow allocfree — the staged-ops list grows to the shard's per-window high-water schedule count and is reset (not reallocated) every merge
 	st.ops = append(st.ops, e)
+	if t < st.winEnd {
+		if s, ok := act.(Sharded); !ok || s.ShardOf(op, a, b, c, p) != st.idx {
+			panic("sim: cross-shard event staged inside the execution window")
+		}
+		st.pend.push(e)
+	}
 	return e
 }
 
@@ -230,11 +327,115 @@ func (st *Stage) Exec(e *Event) {
 // kernel's recycle: from here the struct is no longer cancellable.
 func (st *Stage) Recycle(e *Event) {
 	e.queued = false
+	e.done = false
 	e.fn = nil
 	e.act = nil
 	e.p = nil
 	//hxlint:allow allocfree — returns capacity the pool already handed out; never exceeds the refill high-water mark
 	st.free = append(st.free, e)
+}
+
+// ExecStaged runs an in-window staged event locally on its own shard.
+// Marking it done and not-queued first mirrors the serial kernel's
+// pop-then-exec: a Cancel issued after this point is a no-op, exactly as
+// it would be serially once the event had been popped. The struct is NOT
+// recycled — the ops log, the shard's effect records, and the tail still
+// reference it until the merge — ResetOps recycles done events instead.
+func (st *Stage) ExecStaged(e *Event) {
+	e.done = true
+	e.queued = false
+	act, op, a, b, c, p := e.act, e.op, e.a, e.b, e.c, e.p
+	act.Act(op, a, b, c, p)
+}
+
+// Recorder observes every live event RunWindow processes, in execution
+// order. For a drained event, seq is its kernel sequence number and ev
+// is nil (the struct is recycled immediately after the callback). For a
+// staged event executed in-window, seq is zero and ev is the handle —
+// its kernel seq is assigned during the merge's replay, strictly before
+// the merge consumes the record (the staging record precedes it in the
+// same shard's stream).
+type Recorder interface {
+	Record(at Time, seq uint64, ev *Event)
+}
+
+// RunWindow executes this shard's slice of a window: the drained batch
+// (already in (time, seq) order) interleaved with events the callbacks
+// stage inside the window, in exactly the serial kernel's order — by
+// time; at equal times drained before staged (every drained seq predates
+// every staged seq, which the merge assigns from a later counter value);
+// among staged, by staging rank (equal to eventual seq order, see AtAct).
+// Dead events are skipped without a record, as the serial pop-dead loop
+// skips them; deadness is read here, at processing time, so a
+// same-window cancel from an earlier event lands exactly as it would
+// serially. Each processed event, live or dead, updates the tail.
+func (st *Stage) RunWindow(batch []*Event, rec Recorder) {
+	i := 0
+	for {
+		var e *Event
+		staged := false
+		switch {
+		case i < len(batch):
+			e = batch[i]
+			if len(st.pend.h) > 0 && st.pend.h[0].at < e.at {
+				e = st.pend.h[0]
+				staged = true
+			}
+		case len(st.pend.h) > 0:
+			e = st.pend.h[0]
+			staged = true
+		default:
+			return
+		}
+		if staged {
+			st.pend.pop()
+		} else {
+			i++
+		}
+		st.tailAt = e.at
+		st.tailDead = e.dead
+		st.hasTail = true
+		if staged {
+			st.tailEv = e
+			if e.dead {
+				// Never runs, but consumes its seq at the merge's replay,
+				// as the serial schedule did; ResetOps recycles it.
+				e.done = true
+				e.queued = false
+				continue
+			}
+			st.now = e.at
+			st.ExecStaged(e)
+			rec.Record(e.at, 0, e)
+		} else {
+			st.tailEv = nil
+			st.tailSeq = e.seq
+			if e.dead {
+				st.Recycle(e)
+				continue
+			}
+			st.now = e.at
+			at, seq := e.at, e.seq
+			st.Exec(e)
+			rec.Record(at, seq, nil)
+		}
+	}
+}
+
+// Tail returns the (time, seq) of the last event this shard processed in
+// its window — live or dead — and whether it was dead. The executor
+// needs the global (time, seq)-maximal tail across shards for the
+// serial until-overshoot quirk. Call after the merge's ops replay (a
+// staged tail's seq is assigned there) and before ResetOps (which
+// recycles done structs).
+func (st *Stage) Tail() (at Time, seq uint64, dead, ok bool) {
+	if !st.hasTail {
+		return 0, 0, false, false
+	}
+	if st.tailEv != nil {
+		return st.tailAt, st.tailEv.seq, st.tailDead, true
+	}
+	return st.tailAt, st.tailSeq, st.tailDead, true
 }
 
 // StagedLen returns how many schedule calls have been staged this cycle;
@@ -249,9 +450,18 @@ func (st *Stage) ReplayOps(k *Kernel, i, j int) {
 	}
 }
 
-// ResetOps clears the staged-ops list after a merge. The events now live
-// in the kernel calendar; the backing array is reused next cycle.
-func (st *Stage) ResetOps() { st.ops = st.ops[:0] }
+// ResetOps clears the staged-ops list after a merge. Events executed (or
+// popped dead) inside the window return to the stage pool here — the
+// merge has finished reading their seqs by now — while the rest live on
+// in the kernel calendar; the backing array is reused next window.
+func (st *Stage) ResetOps() {
+	for _, e := range st.ops {
+		if e.done {
+			st.Recycle(e)
+		}
+	}
+	st.ops = st.ops[:0]
+}
 
 // PoolLen returns the stage's free-list depth (for the coordinator's
 // pool rebalancing: traffic that systematically crosses shards would

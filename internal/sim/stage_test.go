@@ -2,8 +2,11 @@ package sim
 
 // Unit tests for the sharded-execution staging layer: DrainCycle's
 // pop-everything-at-min-time contract (including the late list and dead
-// events), InjectStaged's serial-order seq assignment, and the Stage
-// pool's closed event circulation.
+// events), DrainWindow's (time, seq) order and clock neutrality,
+// Requeue's order preservation, RunWindow's in-window local execution
+// (same-cycle staging, window-granularity cancels, done-event seq
+// consumption), InjectStaged's serial-order seq assignment, and the
+// Stage pool's closed event circulation.
 
 import "testing"
 
@@ -120,7 +123,7 @@ func TestInjectStagedSerialSeq(t *testing.T) {
 	k := NewKernel()
 	var log []int32
 	act := logActor{&log}
-	st := NewStage()
+	st := NewStage(0)
 	st.StartCycle(k.Now())
 	for i := int32(0); i < 6; i++ {
 		st.AtAct(10, act, 0, i, 0, 0, nil)
@@ -149,7 +152,7 @@ func TestStagedCancelConsumesSeq(t *testing.T) {
 	k := NewKernel()
 	var log []int32
 	act := logActor{&log}
-	st := NewStage()
+	st := NewStage(0)
 	st.StartCycle(k.Now())
 	e0 := st.AtAct(10, act, 0, 0, 0, 0, nil)
 	st.AtAct(10, act, 0, 1, 0, 0, nil)
@@ -171,8 +174,244 @@ func TestStagedCancelConsumesSeq(t *testing.T) {
 	}
 }
 
+// TestDrainWindowMixedTimestamps: DrainWindow pops every event strictly
+// before winEnd in (time, seq) order across timestamps, leaves events at
+// or past winEnd queued, and — unlike DrainCycle — never touches the
+// clock (the merge advances it per live event).
+func TestDrainWindowMixedTimestamps(t *testing.T) {
+	k := NewKernel()
+	act := logActor{new([]int32)}
+	// Schedule out of time order so drain order proves the sort.
+	k.AtAct(7, act, 0, 0, 0, 0, nil)
+	k.AtAct(5, act, 0, 1, 0, 0, nil)
+	k.AtAct(6, act, 0, 2, 0, 0, nil)
+	k.AtAct(5, act, 0, 3, 0, 0, nil)
+	k.AtAct(9, act, 0, 4, 0, 0, nil) // past winEnd: must stay queued
+	batch := k.DrainWindow(8, nil)
+	if len(batch) != 4 {
+		t.Fatalf("drained %d events, want 4 (t=9 is outside the window)", len(batch))
+	}
+	if k.Now() != 0 {
+		t.Fatalf("DrainWindow moved the clock to %d; it must not touch it", k.Now())
+	}
+	for i := 1; i < len(batch); i++ {
+		a, b := batch[i-1], batch[i]
+		if a.At() > b.At() || (a.At() == b.At() && a.Seq() >= b.Seq()) {
+			t.Fatalf("batch not in (time, seq) order at %d: (%d,%d) then (%d,%d)",
+				i, a.At(), a.Seq(), b.At(), b.Seq())
+		}
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after drain, want 1", k.Pending())
+	}
+	if rest := k.DrainWindow(10, batch[:0]); len(rest) != 1 || rest[0].At() != 9 {
+		t.Fatalf("second window drained %d events, want the t=9 leftover", len(rest))
+	}
+	if empty := k.DrainWindow(100, nil); len(empty) != 0 {
+		t.Fatalf("empty calendar drained %d events, want 0", len(empty))
+	}
+}
+
+// TestDrainWindowCancelDrained: a drained-but-unexecuted event is still
+// cancellable — drain does not clear the queued flag — and the dead flag
+// is honored at processing time by ExecDrained, mirroring how an
+// earlier-in-window event's cancel lands under the windowed executor.
+func TestDrainWindowCancelDrained(t *testing.T) {
+	k := NewKernel()
+	var log []int32
+	act := logActor{&log}
+	k.AtAct(5, act, 0, 0, 0, 0, nil)
+	victim := k.AtAct(6, act, 0, 1, 0, 0, nil)
+	k.AtAct(7, act, 0, 2, 0, 0, nil)
+	batch := k.DrainWindow(10, nil)
+	k.Cancel(victim)
+	if !victim.Dead() {
+		t.Fatal("Cancel after DrainWindow did not take; window-granularity cancels would be lost")
+	}
+	for _, e := range batch {
+		if !e.Dead() {
+			k.SetNow(e.At())
+		}
+		k.ExecDrained(e)
+	}
+	if len(log) != 2 || log[0] != 0 || log[1] != 2 {
+		t.Fatalf("executed %v, want [0 2] (cancelled-after-drain event skipped)", log)
+	}
+}
+
+// TestRequeuePreservesOrder: Requeue returns a drained window to the
+// calendar with original (time, seq) stamps, so a fresh drain reproduces
+// the identical batch — the unshardable-window fallback depends on this.
+func TestRequeuePreservesOrder(t *testing.T) {
+	k := NewKernel()
+	act := logActor{new([]int32)}
+	for i := int32(0); i < 4; i++ {
+		k.AtAct(Time(5+i%2), act, 0, i, 0, 0, nil)
+	}
+	batch := k.DrainWindow(8, nil)
+	want := make([]*Event, len(batch))
+	copy(want, batch)
+	k.Requeue(batch)
+	if k.Pending() != 4 {
+		t.Fatalf("Pending = %d after Requeue, want 4", k.Pending())
+	}
+	again := k.DrainWindow(8, nil)
+	if len(again) != len(want) {
+		t.Fatalf("re-drain returned %d events, want %d", len(again), len(want))
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("re-drain order diverged at %d", i)
+		}
+	}
+}
+
+// windowActor is a Sharded actor that logs its a operand and stages
+// follow-up events on its stage according to a spawn table, exercising
+// RunWindow's in-window local execution path.
+type windowActor struct {
+	st    *Stage
+	log   *[]int32
+	spawn map[int32][]Time // a operand -> follow-up event times (staged as a+100, a+200, ...)
+}
+
+func (w *windowActor) Act(_ uint8, a, _, _ int32, _ any) {
+	*w.log = append(*w.log, a)
+	for i, at := range w.spawn[a] {
+		w.st.AtAct(at, w, 0, a+int32(100*(i+1)), 0, 0, nil)
+	}
+}
+
+func (w *windowActor) ShardOf(uint8, int32, int32, int32, any) int { return 0 }
+
+// windowRecorder captures RunWindow's Record stream: times, and whether
+// each record was a drained event (ev nil, kernel seq) or a staged one
+// (handle, seq assigned later at the merge).
+type windowRecorder struct {
+	ats    []Time
+	staged []bool
+}
+
+func (r *windowRecorder) Record(at Time, _ uint64, ev *Event) {
+	r.ats = append(r.ats, at)
+	r.staged = append(r.staged, ev != nil)
+}
+
+// TestRunWindowSameCycleStaging: an event that stages a same-cycle
+// follow-up sees it execute inside the same window, after the remaining
+// drained events of that cycle (drained-before-staged at equal time) and
+// before any later-cycle work — the serial kernel's exact interleaving.
+func TestRunWindowSameCycleStaging(t *testing.T) {
+	k := NewKernel()
+	var log []int32
+	st := NewStage(0)
+	w := &windowActor{st: st, log: &log, spawn: map[int32][]Time{
+		0: {5, 6}, // same-cycle (t=5) and mid-window (t=6) follow-ups
+	}}
+	k.AtAct(5, w, 0, 0, 0, 0, nil)
+	k.AtAct(5, w, 0, 1, 0, 0, nil)
+	k.AtAct(7, w, 0, 2, 0, 0, nil)
+	batch := k.DrainWindow(10, nil)
+	st.StartWindow(10)
+	rec := &windowRecorder{}
+	st.RunWindow(batch, rec)
+	// Drained t=5 pair first (schedule order), then the staged t=5
+	// follow-up, the staged t=6 one, then the drained t=7 event.
+	wantLog := []int32{0, 1, 100, 200, 2}
+	if len(log) != len(wantLog) {
+		t.Fatalf("executed %v, want %v", log, wantLog)
+	}
+	for i := range wantLog {
+		if log[i] != wantLog[i] {
+			t.Fatalf("executed %v, want %v", log, wantLog)
+		}
+	}
+	wantAts := []Time{5, 5, 5, 6, 7}
+	wantStaged := []bool{false, false, true, true, false}
+	for i := range wantAts {
+		if rec.ats[i] != wantAts[i] || rec.staged[i] != wantStaged[i] {
+			t.Fatalf("record stream ats=%v staged=%v, want %v/%v", rec.ats, rec.staged, wantAts, wantStaged)
+		}
+	}
+	if st.Now() != 7 {
+		t.Fatalf("stage clock = %d after window, want 7", st.Now())
+	}
+}
+
+// TestRunWindowCancelStaged: Kernel.Cancel on a staged handle before its
+// in-window execution point makes RunWindow skip it without a record —
+// it still becomes the tail and still consumes a seq at the merge's
+// replay, exactly as a cancelled event does serially.
+func TestRunWindowCancelStaged(t *testing.T) {
+	k := NewKernel()
+	var log []int32
+	st := NewStage(0)
+	w := &windowActor{st: st, log: &log, spawn: map[int32][]Time{}}
+	k.AtAct(5, w, 0, 0, 0, 0, nil)
+	batch := k.DrainWindow(10, nil)
+	st.StartWindow(10)
+	st.StartCycle(5)
+	victim := st.AtAct(8, w, 0, 50, 0, 0, nil)
+	k.Cancel(victim)
+	rec := &windowRecorder{}
+	st.RunWindow(batch, rec)
+	if len(log) != 1 || log[0] != 0 {
+		t.Fatalf("executed %v, want only the drained event", log)
+	}
+	if len(rec.ats) != 1 {
+		t.Fatalf("recorded %d events, want 1 (dead staged event skipped without a record)", len(rec.ats))
+	}
+	at, _, dead, ok := st.Tail()
+	if !ok || at != 8 || !dead {
+		t.Fatalf("Tail = (%d, dead=%v, ok=%v), want the dead staged event at t=8", at, dead, ok)
+	}
+	// The dead in-window event is done: ReplayOps assigns it a seq but
+	// never re-enqueues it.
+	seqBefore := k.AtAct(100, w, 0, 9, 0, 0, nil).Seq()
+	st.ReplayOps(k, 0, st.StagedLen())
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after replaying a done event, want 1 (only the probe)", k.Pending())
+	}
+	if victim.Seq() != seqBefore+1 {
+		t.Fatalf("done event got seq %d, want %d (must consume the next kernel seq)", victim.Seq(), seqBefore+1)
+	}
+	st.ResetOps()
+}
+
+// TestInjectStagedDoneNoEnqueue: an event executed in-window on its own
+// shard (done) consumes a kernel seq at injection but never re-enters
+// the calendar, and ResetOps recycles its struct back to the stage pool.
+func TestInjectStagedDoneNoEnqueue(t *testing.T) {
+	k := NewKernel()
+	var log []int32
+	st := NewStage(0)
+	w := &windowActor{st: st, log: &log, spawn: map[int32][]Time{}}
+	st.StartWindow(10)
+	st.StartCycle(0)
+	pool := st.PoolLen()
+	e := st.AtAct(5, w, 0, 7, 0, 0, nil)
+	st.RunWindow(nil, &windowRecorder{})
+	if len(log) != 1 || log[0] != 7 {
+		t.Fatalf("RunWindow on staged-only window executed %v, want [7]", log)
+	}
+	st.ReplayOps(k, 0, st.StagedLen())
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0 (done event must not re-enter the calendar)", k.Pending())
+	}
+	if e.Seq() != 0 {
+		t.Fatalf("done event seq = %d, want 0 (first kernel seq)", e.Seq())
+	}
+	if next := k.AtAct(20, w, 0, 8, 0, 0, nil); next.Seq() != 1 {
+		t.Fatalf("next kernel seq = %d, want 1 (done event consumed seq 0)", next.Seq())
+	}
+	st.ResetOps()
+	if st.PoolLen() != pool {
+		t.Fatalf("ResetOps pool = %d, want %d (done struct recycled to the stage pool)", st.PoolLen(), pool)
+	}
+}
+
 func TestStageAllocPanicsOnPast(t *testing.T) {
-	st := NewStage()
+	st := NewStage(0)
 	st.StartCycle(10)
 	defer func() {
 		if recover() == nil {
@@ -189,7 +428,7 @@ func TestStagePoolCirculation(t *testing.T) {
 	k := NewKernel()
 	var log []int32
 	act := logActor{&log}
-	a, b := NewStage(), NewStage()
+	a, b := NewStage(0), NewStage(1)
 	a.StartCycle(0)
 	before := a.PoolLen()
 	e := a.AtAct(5, act, 0, 7, 0, 0, nil)

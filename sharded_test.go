@@ -56,14 +56,16 @@ func foldCounters(h interface{ Write([]byte) (int, error) }, inst *Instance) {
 }
 
 // fingerprintRun builds cfg, drives UR traffic at 0.6 load for until
-// cycles through the serial kernel (shards <= 1) or the sharded executor,
-// and returns the run's fingerprint.
-func fingerprintRun(t *testing.T, cfg Config, shards int, until sim.Time) simFingerprint {
+// cycles through the serial kernel (shards <= 1) or the sharded executor
+// at the given barrier window width (0 derives the default from the
+// configured latencies), and returns the run's fingerprint.
+func fingerprintRun(t *testing.T, cfg Config, shards, window int, until sim.Time) simFingerprint {
 	t.Helper()
 	inst, err := Build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer inst.Close()
 	h := fnv.New64a()
 	var buf [16]byte
 	inst.K.TraceExec = func(at sim.Time, seq uint64) {
@@ -77,7 +79,7 @@ func fingerprintRun(t *testing.T, cfg Config, shards int, until sim.Time) simFin
 	}
 	gen := &traffic.Generator{Net: inst.Net, Pattern: pat, Sizes: traffic.UniformSize{Min: 1, Max: 16}, Load: 0.6}
 	gen.Start(inst.Cfg.Seed)
-	if _, err := inst.runCtx(context.Background(), until, shards); err != nil {
+	if _, err := inst.runCtx(context.Background(), until, shards, window); err != nil {
 		t.Fatal(err)
 	}
 	foldCounters(h, inst)
@@ -108,9 +110,9 @@ func TestShardedMatchesSerialShapes(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			cfg := Config{Widths: c.widths, Terms: 2, Algorithm: c.alg, Seed: 7}
-			want := fingerprintRun(t, cfg, 1, 2500)
+			want := fingerprintRun(t, cfg, 1, 0, 2500)
 			for _, nsh := range []int{2, 3, 4, 8} {
-				if got := fingerprintRun(t, cfg, nsh, 2500); got != want {
+				if got := fingerprintRun(t, cfg, nsh, 0, 2500); got != want {
 					t.Errorf("shards=%d diverged from serial: got %+v, want %+v", nsh, got, want)
 				}
 			}
@@ -132,11 +134,43 @@ func TestShardedSameCycleCancelVAL(t *testing.T) {
 	cfg := DefaultScale()
 	cfg.Algorithm = "VAL"
 	cfg.Seed = 1
-	want := fingerprintRun(t, cfg, 1, 4000)
+	want := fingerprintRun(t, cfg, 1, 0, 4000)
 	for _, nsh := range []int{2, 4} {
-		if got := fingerprintRun(t, cfg, nsh, 4000); got != want {
-			t.Errorf("shards=%d diverged from serial: got %+v, want %+v", nsh, got, want)
+		// Window 50 (the cross-shard latency cap) makes the cancelled timer
+		// and its canceller share a window far more often than the per-cycle
+		// barrier did, stressing processing-time deadness reads.
+		for _, win := range []int{1, 50} {
+			if got := fingerprintRun(t, cfg, nsh, win, 4000); got != want {
+				t.Errorf("shards=%d window=%d diverged from serial: got %+v, want %+v", nsh, win, got, want)
+			}
 		}
+	}
+}
+
+// TestShardedWindowWidths: every legal barrier window width — per-cycle,
+// partial, the derived default, and the cross-shard latency cap (wider
+// requests clamp to it) — yields the bit-identical fingerprint. The
+// window only changes how often the shards synchronize, never what they
+// execute.
+func TestShardedWindowWidths(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		widths []int
+		alg    string
+	}{
+		{"4x4-DimWAR", []int{4, 4}, "DimWAR"},
+		{"2x2x2-OmniWAR", []int{2, 2, 2}, "OmniWAR"},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Config{Widths: c.widths, Terms: 2, Algorithm: c.alg, Seed: 7}
+			want := fingerprintRun(t, cfg, 1, 0, 2500)
+			for _, win := range []int{1, 2, 5, 50, 1000} {
+				if got := fingerprintRun(t, cfg, 4, win, 2500); got != want {
+					t.Errorf("window=%d diverged from serial: got %+v, want %+v", win, got, want)
+				}
+			}
+		})
 	}
 }
 
@@ -148,11 +182,14 @@ func TestShardedMatchesSerialFaulted(t *testing.T) {
 		alg := alg
 		t.Run(alg, func(t *testing.T) {
 			cfg := Config{Widths: []int{4, 4}, Terms: 2, Algorithm: alg, Seed: 3, Faults: 4}
-			want := fingerprintRun(t, cfg, 1, 2500)
-			if got := fingerprintRun(t, cfg, 4, 2500); got != want {
+			want := fingerprintRun(t, cfg, 1, 0, 2500)
+			if got := fingerprintRun(t, cfg, 4, 0, 2500); got != want {
 				t.Errorf("faulted sharded run diverged from serial: got %+v, want %+v", got, want)
 			}
-			if want.Hash == fingerprintRun(t, Config{Widths: []int{4, 4}, Terms: 2, Algorithm: alg, Seed: 3}, 1, 2500).Hash {
+			if got := fingerprintRun(t, cfg, 4, 50, 2500); got != want {
+				t.Errorf("faulted windowed run diverged from serial: got %+v, want %+v", got, want)
+			}
+			if want.Hash == fingerprintRun(t, Config{Widths: []int{4, 4}, Terms: 2, Algorithm: alg, Seed: 3}, 1, 0, 2500).Hash {
 				t.Error("faulted and pristine runs share a fingerprint; the fixture exercises no fault path")
 			}
 		})
@@ -165,6 +202,7 @@ func TestShardedMatchesSerialFaulted(t *testing.T) {
 func TestShardedSnapshotRestoreResume(t *testing.T) {
 	cfg := Config{Widths: []int{2, 2, 2}, Terms: 2, Algorithm: "DimWAR", Seed: 5}
 	inst := MustBuild(cfg)
+	defer inst.Close()
 	pat, err := NewPattern("UR", inst.Topo)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +226,7 @@ func TestShardedSnapshotRestoreResume(t *testing.T) {
 			binary.LittleEndian.PutUint64(buf[8:16], seq)
 			h.Write(buf[:])
 		}
-		if _, err := inst.runCtx(context.Background(), 3600, shards); err != nil {
+		if _, err := inst.runCtx(context.Background(), 3600, shards, 0); err != nil {
 			t.Fatal(err)
 		}
 		inst.K.TraceExec = nil
@@ -216,6 +254,7 @@ func TestShardedSnapshotRestoreResume(t *testing.T) {
 func TestShardedSteadyStateZeroAlloc(t *testing.T) {
 	cfg := Config{Widths: []int{4, 4}, Terms: 2, Algorithm: "DimWAR", Seed: 1}
 	inst := MustBuild(cfg)
+	defer inst.Close()
 	pat, err := NewPattern("UR", inst.Topo)
 	if err != nil {
 		t.Fatal(err)
@@ -224,12 +263,12 @@ func TestShardedSteadyStateZeroAlloc(t *testing.T) {
 	gen.Start(inst.Cfg.Seed)
 	// Warm pools, queue capacities, and shard staging slabs to their
 	// high-water marks through the sharded path itself.
-	if _, err := inst.runCtx(context.Background(), 100000, 4); err != nil {
+	if _, err := inst.runCtx(context.Background(), 100000, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 	measure := func(cycles sim.Time) float64 {
 		return testing.AllocsPerRun(10, func() {
-			if _, err := inst.runCtx(context.Background(), inst.K.Now()+cycles, 4); err != nil {
+			if _, err := inst.runCtx(context.Background(), inst.K.Now()+cycles, 4, 0); err != nil {
 				t.Fatal(err)
 			}
 		})
